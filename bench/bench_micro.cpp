@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark): the kernels that dominate the
+// reproduction's wall-clock — GEMM, conv2d forward/backward via autograd,
+// HSIC, full model forward, and one PGD attack step.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.hpp"
+#include "attacks/pgd.hpp"
+#include "data/registry.hpp"
+#include "mi/hsic.hpp"
+#include "models/registry.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/random.hpp"
+
+using namespace ibrar;
+
+static void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor x = randn({16, 8, 16, 16}, rng);
+  const Tensor w = randn({16, 8, 3, 3}, rng, 0, 0.1f);
+  const Conv2dSpec spec{3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d(x, w, nullptr, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+static void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor x = randn({16, 8, 16, 16}, rng);
+  const Tensor w = randn({16, 8, 3, 3}, rng, 0, 0.1f);
+  const Conv2dSpec spec{3, 1, 1};
+  for (auto _ : state) {
+    ag::Var xv = ag::Var::param(x);
+    ag::Var wv = ag::Var::param(w);
+    ag::Var loss = ag::mean(ag::square(ag::conv2d(xv, wv, ag::Var(), spec)));
+    loss.backward();
+    benchmark::DoNotOptimize(xv.grad());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+static void BM_HSIC(benchmark::State& state) {
+  const auto m = state.range(0);
+  Rng rng(4);
+  const Tensor x = randn({m, 64}, rng);
+  const Tensor y = randn({m, 10}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mi::hsic_gaussian(x, y));
+  }
+}
+BENCHMARK(BM_HSIC)->Arg(50)->Arg(100);
+
+static void BM_HSICBackward(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor x = randn({100, 64}, rng);
+  const Tensor y = randn({100, 10}, rng);
+  const ag::Var ky =
+      ag::Var::constant(mi::gram_gaussian(y, mi::scaled_sigma(10)));
+  for (auto _ : state) {
+    ag::Var xv = ag::Var::param(x);
+    ag::Var kx = mi::gram_gaussian(xv, mi::scaled_sigma(64));
+    ag::Var h = mi::hsic(kx, ky);
+    h.backward();
+    benchmark::DoNotOptimize(xv.grad());
+  }
+}
+BENCHMARK(BM_HSICBackward);
+
+static void BM_VGGForward(benchmark::State& state) {
+  Rng rng(6);
+  models::ModelSpec spec;
+  auto model = models::make_model(spec, rng);
+  model->set_training(false);
+  Rng drng(7);
+  const Tensor x = rand_uniform({32, 3, 16, 16}, drng);
+  ag::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(ag::Var::constant(x)).value());
+  }
+}
+BENCHMARK(BM_VGGForward);
+
+static void BM_PGDStep(benchmark::State& state) {
+  Rng rng(8);
+  models::ModelSpec spec;
+  auto model = models::make_model(spec, rng);
+  model->set_training(false);
+  Rng drng(9);
+  const Tensor x = rand_uniform({32, 3, 16, 16}, drng);
+  std::vector<std::int64_t> y(32, 0);
+  attacks::AttackConfig cfg;
+  cfg.steps = 1;
+  cfg.random_start = false;
+  attacks::PGD pgd(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgd.perturb(*model, x, y));
+  }
+}
+BENCHMARK(BM_PGDStep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table 2 reproduction: the Table 1 protocol on CIFAR-10 with ResNet-18 and
+// CIFAR-100 with WideResNet-28-10.
+
+#include "common.hpp"
+
+using namespace ibrar;
+using namespace ibrar::bench;
+
+int main() {
+  print_header("Table 2: adversarial training +/- IB-RAR (ResNet-18 / WRN)");
+  const auto s = default_scale();
+
+  const std::vector<PaperRow> resnet_rows = {
+      {"PGD", false, {75.05, 45.21, 74.09, 48.60, 42.26, 49.71}},
+      {"PGD", true, {75.10, 45.55, 74.10, 48.83, 42.74, 50.03}},
+      {"TRADES", false, {73.04, 45.91, 72.16, 48.51, 42.59, 49.92}},
+      {"TRADES", true, {73.07, 46.13, 72.16, 48.85, 42.74, 50.09}},
+      {"MART", false, {72.96, 46.17, 72.00, 49.19, 41.62, 50.34}},
+      {"MART", true, {76.85, 48.92, 75.78, 52.52, 45.01, 54.72}},
+  };
+  run_attack_table("CIFAR-10 by ResNet-18 (synth-cifar10)", "synth-cifar10",
+                   "resnet18", resnet_rows, s);
+
+  const std::vector<PaperRow> wrn_rows = {
+      {"PGD", false, {39.88, 9.74, 13.66, 16.85, 10.28, 14.53}},
+      {"PGD", true, {37.68, 16.60, 15.98, 19.44, 14.85, 19.48}},
+      {"TRADES", false, {39.38, 10.44, 14.69, 17.60, 10.42, 15.38}},
+      {"TRADES", true, {36.41, 19.18, 16.67, 20.69, 16.61, 21.95}},
+      {"MART", false, {39.91, 12.30, 14.29, 17.85, 11.73, 16.57}},
+      {"MART", true, {40.65, 23.44, 17.96, 24.46, 19.24, 26.41}},
+  };
+  run_attack_table("CIFAR-100 by WRN-28-10 (synth-cifar100)", "synth-cifar100",
+                   "wrn28", wrn_rows, s);
+  return 0;
+}

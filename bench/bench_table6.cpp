@@ -1,0 +1,74 @@
+// Table 6 reproduction: adaptive white-box attack (paper Sec. A.2). The
+// adversary runs PGD on the defender's own IB-RAR objective (Eq. 1) instead
+// of plain CE, at 10 and 100 steps, against:
+//   plain (IB-RAR)  -- IB-RAR without adversarial training
+//   AT              -- PGD adversarial training
+//   AT (IB-RAR)     -- both
+//
+// Expected shape (paper): the adaptive attack hurts plain IB-RAR more than
+// standard PGD does, but the model stays above the CE baseline; for AT
+// models the adaptive attack is NO stronger than standard PGD.
+
+#include "attacks/adaptive.hpp"
+#include "common.hpp"
+
+using namespace ibrar;
+using namespace ibrar::bench;
+
+int main() {
+  print_header("Table 6: adaptive white-box attack (VGG16, synth-cifar10)");
+  const auto s = default_scale();
+  const auto data = data::make_dataset("synth-cifar10", s.train_size,
+                                       s.test_size);
+  models::ModelSpec spec;
+  spec.name = "vgg16";
+
+  struct Row {
+    const char* name;
+    const char* base;
+    bool ibrar;
+    double ref[4];  // PGD10, AD-PGD10, PGD100, AD-PGD100
+  };
+  const std::vector<Row> rows = {
+      {"plain (IB-RAR)", "plain", true, {15.38, 35.86, 22.64, 31.37}},
+      {"AT", "PGD", false, {45.06, 42.26, 44.71, 42.01}},
+      {"AT (IB-RAR)", "PGD", true, {45.97, 45.03, 45.60, 44.60}},
+  };
+  // Paper's Table 6 swaps the column meanings for row 1 (the adaptive attack
+  // is WEAKER than plain PGD on plain IB-RAR's CE loss); refs above follow
+  // the printed order: PGD / PGD-AD at 10 then 100 steps.
+
+  const std::int64_t long_steps = env::scaled_int("IBRAR_ADAPTIVE_STEPS", 30, 100);
+
+  Table table({"Method", "PGD10", "PGD10-AD", "PGD100", "PGD100-AD"});
+  Stopwatch sw;
+  for (const auto& row : rows) {
+    auto model = train_method(row.base, row.ibrar, spec, data, s);
+    const mi::IBObjectiveConfig ib = core::to_ib_config(default_mi(), *model);
+
+    auto eval_at_steps = [&](std::int64_t steps, bool adaptive) {
+      attacks::AttackConfig c;
+      c.steps = steps;
+      if (adaptive) {
+        attacks::AdaptivePGD a(c, ib);
+        return train::evaluate_adversarial(*model, data.test, a, s.batch,
+                                           s.eval_samples);
+      }
+      attacks::PGD a(c);
+      return train::evaluate_adversarial(*model, data.test, a, s.batch,
+                                         s.eval_samples);
+    };
+    const double p10 = eval_at_steps(10, false);
+    const double a10 = eval_at_steps(10, true);
+    const double p100 = eval_at_steps(long_steps, false);
+    const double a100 = eval_at_steps(long_steps, true);
+    table.add_row({row.name, pct_vs(p10, row.ref[0]), pct_vs(a10, row.ref[1]),
+                   pct_vs(p100, row.ref[2]), pct_vs(a100, row.ref[3])});
+    std::fprintf(stderr, "[bench] table6 %s done (%.1fs)\n", row.name,
+                 sw.reset());
+  }
+  table.print();
+  std::printf("\n(PGD100 columns use %lld steps in quick profile)\n",
+              static_cast<long long>(long_steps));
+  return 0;
+}

@@ -1,0 +1,222 @@
+#pragma once
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench prints measured values side by side with the paper's reported
+// numbers. Scales come from the IBRAR_PROFILE env switch (quick | paper) with
+// per-knob overrides (IBRAR_TRAIN_SIZE, IBRAR_EPOCHS, ...); see src/util/env.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/cw.hpp"
+#include "attacks/fab.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/nifgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "core/ibrar.hpp"
+#include "data/registry.hpp"
+#include "models/registry.hpp"
+#include "train/evaluate.hpp"
+#include "train/hbar.hpp"
+#include "train/mart.hpp"
+#include "train/trades.hpp"
+#include "train/vib.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace ibrar::bench {
+
+/// Experiment scale, profile-dependent.
+struct Scale {
+  std::int64_t train_size;
+  std::int64_t test_size;
+  std::int64_t epochs;
+  std::int64_t batch;
+  std::int64_t at_steps;       ///< inner-maximization steps for AT
+  std::int64_t eval_samples;   ///< adversarial eval subset
+  std::int64_t cw_steps;
+  std::int64_t fab_steps;
+  std::int64_t attack_steps;   ///< PGD / NIFGSM eval steps
+};
+
+inline Scale default_scale() {
+  Scale s;
+  s.train_size = env::scaled_int("IBRAR_TRAIN_SIZE", 800, 2000);
+  s.test_size = env::scaled_int("IBRAR_TEST_SIZE", 300, 500);
+  s.epochs = env::scaled_int("IBRAR_EPOCHS", 5, 12);
+  s.batch = env::scaled_int("IBRAR_BATCH", 100, 100);
+  s.at_steps = env::scaled_int("IBRAR_AT_STEPS", 4, 7);
+  s.eval_samples = env::scaled_int("IBRAR_EVAL_SAMPLES", 150, 500);
+  s.cw_steps = env::scaled_int("IBRAR_CW_STEPS", 20, 200);
+  s.fab_steps = env::scaled_int("IBRAR_FAB_STEPS", 8, 20);
+  s.attack_steps = env::scaled_int("IBRAR_ATTACK_STEPS", 10, 10);
+  return s;
+}
+
+inline train::TrainConfig train_config(const Scale& s, std::uint64_t seed = 42) {
+  train::TrainConfig tc;
+  tc.epochs = s.epochs;
+  tc.batch_size = s.batch;
+  tc.seed = seed;
+  tc.verbose = env::get_int("IBRAR_VERBOSE", 0) != 0;
+  return tc;
+}
+
+inline attacks::AttackConfig inner_attack_config(const Scale& s) {
+  attacks::AttackConfig cfg;
+  cfg.steps = s.at_steps;
+  return cfg;
+}
+
+/// Paper-default MI loss for a given architecture (alpha=1.0, beta=0.1 on the
+/// robust layers; the paper's per-arch constants are calibrated for its HSIC
+/// scale — ours is held at 1.0/0.1, which the Fig. 6 bench sweeps).
+inline core::MILossConfig default_mi(core::LayerSelection sel =
+                                         core::LayerSelection::kRobust) {
+  core::MILossConfig mi;
+  mi.alpha = static_cast<float>(env::get_double("IBRAR_ALPHA", 5.0));
+  mi.beta = static_cast<float>(env::get_double("IBRAR_BETA", 1.0));
+  mi.selection = sel;
+  return mi;
+}
+
+/// Base objective by name: "CE" | "PGD" | "TRADES" | "MART" | "HBaR" | "VIB".
+inline train::ObjectivePtr make_base_objective(const std::string& name,
+                                               const Scale& s,
+                                               models::TapClassifier& model) {
+  const auto inner = inner_attack_config(s);
+  if (name == "CE") return std::make_shared<train::CEObjective>();
+  if (name == "PGD") return std::make_shared<train::PGDATObjective>(inner);
+  if (name == "TRADES") return std::make_shared<train::TRADESObjective>(inner);
+  if (name == "MART") return std::make_shared<train::MARTObjective>(inner);
+  if (name == "HBaR") return std::make_shared<train::HBaRObjective>();
+  if (name == "VIB") return std::make_shared<train::VIBObjective>(model);
+  throw std::invalid_argument("unknown objective " + name);
+}
+
+/// Train one model: `base` objective, optionally wrapped with IB-RAR (MI loss
+/// + per-epoch mask refresh). Returns the trained model in eval mode.
+inline models::TapClassifierPtr train_method(
+    const std::string& base, bool ibrar, const models::ModelSpec& spec,
+    const data::SyntheticData& data, const Scale& s, std::uint64_t seed = 42,
+    std::vector<train::EpochStats>* history = nullptr,
+    core::MILossConfig mi = default_mi()) {
+  Rng rng(seed);
+  auto model = models::make_model(spec, rng);
+  train::ObjectivePtr obj;
+  if (base == "plain" || base == "CE") {
+    obj = ibrar ? std::make_shared<core::IBRARObjective>(nullptr, mi)
+                : train::ObjectivePtr(std::make_shared<train::CEObjective>());
+  } else {
+    auto base_obj = make_base_objective(base, s, *model);
+    obj = ibrar ? std::make_shared<core::IBRARObjective>(base_obj, mi)
+                : base_obj;
+  }
+  train::Trainer trainer(model, obj, train_config(s, seed));
+  if (ibrar) {
+    trainer.epoch_hook = core::make_mask_hook(core::FeatureMaskConfig{},
+                                              data.train);
+  }
+  auto h = trainer.fit(data.train);
+  if (history != nullptr) *history = std::move(h);
+  return model;
+}
+
+/// The paper's five evaluation attacks + clean accuracy.
+struct AttackResults {
+  double natural = 0, pgd = 0, cw = 0, fgsm = 0, fab = 0, nifgsm = 0;
+};
+
+inline AttackResults eval_all_attacks(models::TapClassifier& model,
+                                      const data::Dataset& test,
+                                      const Scale& s) {
+  AttackResults r;
+  r.natural = train::evaluate_clean(model, test, s.batch);
+  {
+    attacks::AttackConfig c;
+    c.steps = s.attack_steps;
+    attacks::PGD a(c);
+    r.pgd = train::evaluate_adversarial(model, test, a, s.batch, s.eval_samples);
+  }
+  {
+    attacks::AttackConfig c;
+    c.steps = s.cw_steps;
+    attacks::CW a(c);
+    r.cw = train::evaluate_adversarial(model, test, a, s.batch, s.eval_samples);
+  }
+  {
+    attacks::FGSM a(attacks::AttackConfig{});
+    r.fgsm = train::evaluate_adversarial(model, test, a, s.batch, s.eval_samples);
+  }
+  {
+    attacks::AttackConfig c;
+    c.steps = s.fab_steps;
+    attacks::FAB a(c);
+    r.fab = train::evaluate_adversarial(model, test, a, s.batch, s.eval_samples);
+  }
+  {
+    attacks::AttackConfig c;
+    c.steps = s.attack_steps;
+    attacks::NIFGSM a(c);
+    r.nifgsm = train::evaluate_adversarial(model, test, a, s.batch,
+                                           s.eval_samples);
+  }
+  return r;
+}
+
+/// Percent-formatted cell with the paper's reference value.
+inline std::string pct_vs(double measured, double paper) {
+  return Table::vs_paper(100.0 * measured, paper, 2);
+}
+
+inline void print_header(const std::string& what) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf("profile=%s (IBRAR_PROFILE=paper for full scale); values are "
+              "measured%% (paper%%)\n\n",
+              env::profile() == env::Profile::kPaper ? "paper" : "quick");
+}
+
+/// One row of a Table 1/2-style benchmark: method name, IB-RAR flag, and the
+/// paper's six reference percentages (Natural, PGD, CW, FGSM, FAB, NIFGSM).
+struct PaperRow {
+  const char* method;
+  bool ibrar;
+  double ref[6];
+};
+
+/// Train + attack-evaluate every method row on one dataset/model pair and
+/// print the paper-vs-measured table. Returns the measured results per row.
+inline std::vector<AttackResults> run_attack_table(
+    const std::string& title, const std::string& dataset_name,
+    const std::string& model_name, const std::vector<PaperRow>& rows,
+    const Scale& s, std::uint64_t seed = 42) {
+  const auto data = data::make_dataset(dataset_name, s.train_size, s.test_size);
+  models::ModelSpec spec;
+  spec.name = model_name;
+  spec.num_classes = data.train.num_classes;
+
+  Table table({"Method", "Natural", "PGD", "CW", "FGSM", "FAB", "NIFGSM"});
+  std::vector<AttackResults> measured;
+  Stopwatch sw;
+  for (const auto& row : rows) {
+    auto model = train_method(row.method, row.ibrar, spec, data, s, seed);
+    const auto r = eval_all_attacks(*model, data.test, s);
+    measured.push_back(r);
+    const std::string name =
+        std::string(row.method) + (row.ibrar ? " (IB-RAR)" : "");
+    table.add_row({name, pct_vs(r.natural, row.ref[0]), pct_vs(r.pgd, row.ref[1]),
+                   pct_vs(r.cw, row.ref[2]), pct_vs(r.fgsm, row.ref[3]),
+                   pct_vs(r.fab, row.ref[4]), pct_vs(r.nifgsm, row.ref[5])});
+    std::fprintf(stderr, "[bench] %s / %s done (%.1fs)\n", title.c_str(),
+                 name.c_str(), sw.reset());
+  }
+  std::printf("-- %s --\n", title.c_str());
+  table.print();
+  std::printf("\n");
+  return measured;
+}
+
+}  // namespace ibrar::bench

@@ -1,0 +1,31 @@
+#include "attacks/adaptive.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ibrar::attacks {
+
+Tensor AdaptivePGD::perturb(models::TapClassifier& model, const Tensor& x,
+                            const std::vector<std::int64_t>& y) {
+  AttackModeGuard guard(model);
+  Tensor adv = x;
+  if (cfg_.random_start) {
+    adv = add(adv, rand_uniform(x.shape(), rng_, -cfg_.eps, cfg_.eps));
+    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+  }
+  const auto num_classes = model.num_classes();
+  for (std::int64_t s = 0; s < cfg_.steps; ++s) {
+    ag::Var input = ag::Var::param(adv);
+    auto out = model.forward_with_taps(input);
+    ag::Var loss = ag::cross_entropy(out.logits, y);
+    // The defender's regularizer, differentiated through both the input
+    // kernel K_X and the tap kernels K_T.
+    loss = ag::add(loss, mi::ib_objective(input, out.taps, y, num_classes, ib_));
+    loss.backward();
+    adv = add(adv, mul_scalar(sign(input.grad()), cfg_.alpha));
+    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+  }
+  return adv;
+}
+
+}  // namespace ibrar::attacks

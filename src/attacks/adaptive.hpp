@@ -1,0 +1,26 @@
+#pragma once
+// Adaptive white-box attack against IB-RAR (paper Sec. A.2): PGD that
+// maximizes the full IB-RAR training objective
+//   L = CE + alpha*sum_l I(X, T_l) - beta*sum_l I(Y, T_l)
+// instead of plain CE, using the defender's own alpha/beta and layer set.
+
+#include "attacks/attack.hpp"
+#include "mi/objective.hpp"
+
+namespace ibrar::attacks {
+
+class AdaptivePGD : public Attack {
+ public:
+  AdaptivePGD(AttackConfig cfg, mi::IBObjectiveConfig ib)
+      : Attack(cfg), ib_(std::move(ib)) {}
+  std::string name() const override {
+    return "PGD" + std::to_string(cfg_.steps) + "-AD";
+  }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+ private:
+  mi::IBObjectiveConfig ib_;
+};
+
+}  // namespace ibrar::attacks

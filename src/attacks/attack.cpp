@@ -1,0 +1,65 @@
+#include "attacks/attack.hpp"
+
+#include <algorithm>
+
+#include "tensor/reduce.hpp"
+
+namespace ibrar::attacks {
+
+AttackModeGuard::AttackModeGuard(models::TapClassifier& model)
+    : model_(model), was_training_(model.training()) {
+  model_.set_training(false);
+  // Pause parameter gradients: attacks only need d loss / d input, and the
+  // weight-gradient GEMMs are the dominant backward cost.
+  for (auto& p : model_.parameters()) {
+    if (p.node()->requires_grad) {
+      p.node()->requires_grad = false;
+      paused_.push_back(p.node());
+    }
+  }
+}
+
+AttackModeGuard::~AttackModeGuard() {
+  for (auto& n : paused_) n->requires_grad = true;
+  model_.set_training(was_training_);
+}
+
+Tensor input_gradient(models::TapClassifier& model, const Tensor& x,
+                      const std::vector<std::int64_t>& y) {
+  ag::Var input = ag::Var::param(x);
+  ag::Var loss = ag::cross_entropy(model.forward(input), y);
+  loss.backward();
+  return input.grad();
+}
+
+void project_linf(Tensor& adv, const Tensor& x, float eps, float lo, float hi) {
+  auto pa = adv.data();
+  const auto px = x.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const float low = std::max(px[i] - eps, lo);
+    const float high = std::min(px[i] + eps, hi);
+    pa[i] = std::min(std::max(pa[i], low), high);
+  }
+}
+
+std::vector<std::int64_t> predict(models::TapClassifier& model, const Tensor& x) {
+  ag::NoGradGuard ng;
+  const bool was_training = model.training();
+  model.set_training(false);
+  const Tensor logits = model.forward(ag::Var::constant(x)).value();
+  model.set_training(was_training);
+  return argmax_rows(logits);
+}
+
+double accuracy(models::TapClassifier& model, const Tensor& x,
+                const std::vector<std::int64_t>& y) {
+  const auto pred = predict(model, x);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == y[i]) ++correct;
+  }
+  return pred.empty() ? 0.0
+                      : static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace ibrar::attacks

@@ -1,0 +1,120 @@
+#include "attacks/cw.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::attacks {
+namespace {
+
+/// Per-row index of the highest logit excluding the true class.
+std::vector<std::int64_t> best_wrong_class(const Tensor& logits,
+                                           const std::vector<std::int64_t>& y) {
+  const auto m = logits.dim(0), c = logits.dim(1);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    float best = -std::numeric_limits<float>::infinity();
+    std::int64_t bj = y[static_cast<std::size_t>(i)] == 0 ? 1 : 0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      if (j == y[static_cast<std::size_t>(i)]) continue;
+      if (logits.at(i, j) > best) {
+        best = logits.at(i, j);
+        bj = j;
+      }
+    }
+    idx[static_cast<std::size_t>(i)] = bj;
+  }
+  return idx;
+}
+
+}  // namespace
+
+Tensor CW::perturb(models::TapClassifier& model, const Tensor& x,
+                   const std::vector<std::int64_t>& y) {
+  AttackModeGuard guard(model);
+  const auto n = x.dim(0);
+  const std::int64_t img = x.numel() / n;
+
+  // w leaf with x = 0.5*(tanh(w)+1); shrink toward the interior so atanh is
+  // finite at the boundary values 0 and 1.
+  Tensor w0(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float xi = std::min(std::max(x[i], 0.0f), 1.0f);
+    w0[i] = std::atanh((2.0f * xi - 1.0f) * 0.999999f);
+  }
+  ag::Var w = ag::Var::param(w0);
+
+  // Adam state.
+  Tensor m_t(x.shape());
+  Tensor v_t(x.shape());
+  const float b1 = 0.9f, b2 = 0.999f, eps_adam = 1e-8f;
+
+  Tensor best_adv = x;
+  std::vector<float> best_l2(static_cast<std::size_t>(n),
+                             std::numeric_limits<float>::infinity());
+
+  for (std::int64_t step = 0; step < cfg_.steps; ++step) {
+    w.zero_grad();
+    ag::Var adv = ag::mul_scalar(ag::add_scalar(ag::tanh(w), 1.0f), 0.5f);
+    ag::Var logits = model.forward(adv);
+
+    // f6 margin: max(Z_y - max_{j != y} Z_j, -kappa).
+    const auto wrong = best_wrong_class(logits.value(), y);
+    ag::Var real = ag::gather_cols(logits, y);
+    ag::Var other = ag::gather_cols(logits, wrong);
+    ag::Var margin = ag::relu(ag::add_scalar(ag::sub(real, other), kappa_));
+
+    ag::Var dist = ag::sum(ag::square(ag::sub(adv, ag::Var::constant(x))));
+    ag::Var loss = ag::add(dist, ag::mul_scalar(ag::sum(margin), c_));
+    loss.backward();
+
+    // Track best (lowest-L2 successful) adversarial example per sample.
+    const Tensor adv_now = adv.value();
+    const auto pred = argmax_rows(logits.value());
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (pred[static_cast<std::size_t>(i)] == y[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      double l2 = 0.0;
+      for (std::int64_t k = 0; k < img; ++k) {
+        const double d = adv_now[i * img + k] - x[i * img + k];
+        l2 += d * d;
+      }
+      if (l2 < best_l2[static_cast<std::size_t>(i)]) {
+        best_l2[static_cast<std::size_t>(i)] = static_cast<float>(l2);
+        std::copy_n(adv_now.data().begin() + i * img, img,
+                    best_adv.data().begin() + i * img);
+      }
+    }
+
+    // Adam update on w.
+    const Tensor& g = w.grad();
+    const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step + 1));
+    const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step + 1));
+    for (std::int64_t i = 0; i < w0.numel(); ++i) {
+      m_t[i] = b1 * m_t[i] + (1 - b1) * g[i];
+      v_t[i] = b2 * v_t[i] + (1 - b2) * g[i] * g[i];
+      const float mhat = m_t[i] / bc1;
+      const float vhat = v_t[i] / bc2;
+      w.mutable_value()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_adam);
+    }
+  }
+
+  // Samples never fooled keep their final iterate (standard CW behaviour).
+  {
+    ag::NoGradGuard ng;
+    const Tensor final_adv =
+        ibrar::mul_scalar(ibrar::add_scalar(ibrar::tanh(w.value()), 1.0f), 0.5f);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (std::isinf(best_l2[static_cast<std::size_t>(i)])) {
+        std::copy_n(final_adv.data().begin() + i * img, img,
+                    best_adv.data().begin() + i * img);
+      }
+    }
+  }
+  return best_adv;
+}
+
+}  // namespace ibrar::attacks

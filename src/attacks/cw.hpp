@@ -1,0 +1,26 @@
+#pragma once
+// Carlini & Wagner L2 attack with tanh change-of-variables and the f6 margin
+// objective, following the Torchattacks parameterization the paper uses
+// (fixed trade-off constant c, Adam optimizer, best-so-far tracking).
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class CW : public Attack {
+ public:
+  /// cfg.steps = optimization steps (paper: 200; quick profile uses fewer).
+  explicit CW(AttackConfig cfg, float c = 1.0f, float kappa = 0.0f,
+              float lr = 0.01f)
+      : Attack(cfg), c_(c), kappa_(kappa), lr_(lr) {}
+  std::string name() const override { return "CW" + std::to_string(cfg_.steps); }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+ private:
+  float c_;
+  float kappa_;
+  float lr_;
+};
+
+}  // namespace ibrar::attacks

@@ -1,0 +1,86 @@
+#include "attacks/fab.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::attacks {
+
+Tensor FAB::perturb(models::TapClassifier& model, const Tensor& x,
+                    const std::vector<std::int64_t>& y) {
+  AttackModeGuard guard(model);
+  const auto n = x.dim(0);
+  const std::int64_t img = x.numel() / n;
+
+  Tensor adv = x;
+  Tensor best = x;
+  std::vector<bool> fooled(static_cast<std::size_t>(n), false);
+
+  for (std::int64_t step = 0; step < cfg_.steps; ++step) {
+    ag::Var input = ag::Var::param(adv);
+    ag::Var logits = model.forward(input);
+    const Tensor lv = logits.value();
+
+    // Most competitive wrong class per sample.
+    std::vector<std::int64_t> target(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      float bestv = -std::numeric_limits<float>::infinity();
+      std::int64_t bj = y[static_cast<std::size_t>(i)] == 0 ? 1 : 0;
+      for (std::int64_t j = 0; j < lv.dim(1); ++j) {
+        if (j == y[static_cast<std::size_t>(i)]) continue;
+        if (lv.at(i, j) > bestv) {
+          bestv = lv.at(i, j);
+          bj = j;
+        }
+      }
+      target[static_cast<std::size_t>(i)] = bj;
+    }
+
+    // Margin f_i = z_y - z_target; its input gradient per sample (samples are
+    // independent, so one backward over the summed margins suffices).
+    ag::Var margin = ag::sub(ag::gather_cols(logits, y),
+                             ag::gather_cols(logits, target));
+    ag::Var total = ag::sum(margin);
+    total.backward();
+    const Tensor g = input.grad();
+    const Tensor mv = margin.value();
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float m = mv.at(i, 0);
+      if (m <= 0.0f) {
+        // Already across the boundary: record and bias toward the original
+        // point to shrink the perturbation (FAB's backward step).
+        fooled[static_cast<std::size_t>(i)] = true;
+        std::copy_n(adv.data().begin() + i * img, img,
+                    best.data().begin() + i * img);
+        for (std::int64_t k = 0; k < img; ++k) {
+          adv[i * img + k] = backward_bias_ * adv[i * img + k] +
+                             (1.0f - backward_bias_) * x[i * img + k];
+        }
+        continue;
+      }
+      // Linf-minimal step onto {z_y = z_t}: delta = -m * sign(w) / ||w||_1.
+      double l1 = 0.0;
+      for (std::int64_t k = 0; k < img; ++k) l1 += std::fabs(g[i * img + k]);
+      if (l1 < 1e-12) continue;
+      const float scale = overshoot_ * m / static_cast<float>(l1);
+      for (std::int64_t k = 0; k < img; ++k) {
+        const float s = g[i * img + k] > 0 ? 1.0f : (g[i * img + k] < 0 ? -1.0f : 0.0f);
+        adv[i * img + k] -= scale * s;
+      }
+    }
+    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+  }
+
+  // Samples never fooled return their last iterate.
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!fooled[static_cast<std::size_t>(i)]) {
+      std::copy_n(adv.data().begin() + i * img, img, best.data().begin() + i * img);
+    }
+  }
+  return best;
+}
+
+}  // namespace ibrar::attacks

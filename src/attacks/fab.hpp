@@ -1,0 +1,29 @@
+#pragma once
+// Simplified Fast Adaptive Boundary attack (Croce & Hein 2020).
+//
+// Per step: linearize the decision boundary toward the most competitive wrong
+// class, take the Linf-minimal step onto the (slightly overshot) hyperplane,
+// bias back toward the original point when already adversarial, and project
+// to the eps-ball. The full FAB solves a box-constrained projection QP; the
+// closed-form Linf hyperplane step used here preserves the geometry that the
+// evaluation exercises (minimal-norm boundary crossing inside the ball) — see
+// DESIGN.md substitutions.
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class FAB : public Attack {
+ public:
+  explicit FAB(AttackConfig cfg, float overshoot = 1.05f, float backward_bias = 0.7f)
+      : Attack(cfg), overshoot_(overshoot), backward_bias_(backward_bias) {}
+  std::string name() const override { return "FAB" + std::to_string(cfg_.steps); }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+ private:
+  float overshoot_;
+  float backward_bias_;
+};
+
+}  // namespace ibrar::attacks

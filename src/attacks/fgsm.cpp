@@ -1,0 +1,16 @@
+#include "attacks/fgsm.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace ibrar::attacks {
+
+Tensor FGSM::perturb(models::TapClassifier& model, const Tensor& x,
+                     const std::vector<std::int64_t>& y) {
+  AttackModeGuard guard(model);
+  const Tensor g = input_gradient(model, x, y);
+  Tensor adv = add(x, mul_scalar(sign(g), cfg_.eps));
+  project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+  return adv;
+}
+
+}  // namespace ibrar::attacks

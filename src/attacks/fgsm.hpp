@@ -1,0 +1,17 @@
+#pragma once
+// Fast Gradient Sign Method (Goodfellow et al. 2015):
+// x' = clip(x + eps * sign(grad_x CE)).
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class FGSM : public Attack {
+ public:
+  explicit FGSM(AttackConfig cfg) : Attack(cfg) {}
+  std::string name() const override { return "FGSM"; }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+};
+
+}  // namespace ibrar::attacks

@@ -1,0 +1,25 @@
+#pragma once
+// MI-FGSM (Dong et al. 2018): momentum iterative FGSM — the predecessor of
+// NI-FGSM (which the paper evaluates); included as an extension attack so the
+// momentum family is complete. Accumulates L1-normalized gradients with decay
+// mu and steps along the sign of the accumulator.
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class MIFGSM : public Attack {
+ public:
+  explicit MIFGSM(AttackConfig cfg, float decay = 1.0f)
+      : Attack(cfg), decay_(decay) {}
+  std::string name() const override {
+    return "MIFGSM" + std::to_string(cfg_.steps);
+  }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+ private:
+  float decay_;
+};
+
+}  // namespace ibrar::attacks

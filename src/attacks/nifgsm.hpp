@@ -1,0 +1,24 @@
+#pragma once
+// NI-FGSM (Lin et al. 2020): Nesterov-accelerated momentum iterative FGSM.
+// The gradient is evaluated at the look-ahead point x + alpha*mu*g, momentum
+// accumulates L1-normalized gradients.
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class NIFGSM : public Attack {
+ public:
+  explicit NIFGSM(AttackConfig cfg, float momentum = 1.0f)
+      : Attack(cfg), momentum_(momentum) {}
+  std::string name() const override {
+    return "NIFGSM" + std::to_string(cfg_.steps);
+  }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+ private:
+  float momentum_;
+};
+
+}  // namespace ibrar::attacks

@@ -1,0 +1,25 @@
+#include "attacks/pgd.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ibrar::attacks {
+
+Tensor PGD::perturb(models::TapClassifier& model, const Tensor& x,
+                    const std::vector<std::int64_t>& y) {
+  AttackModeGuard guard(model);
+  Tensor adv = x;
+  if (cfg_.random_start) {
+    const Tensor noise = rand_uniform(x.shape(), rng_, -cfg_.eps, cfg_.eps);
+    adv = add(adv, noise);
+    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+  }
+  for (std::int64_t s = 0; s < cfg_.steps; ++s) {
+    const Tensor g = input_gradient(model, adv, y);
+    adv = add(adv, mul_scalar(sign(g), cfg_.alpha));
+    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+  }
+  return adv;
+}
+
+}  // namespace ibrar::attacks

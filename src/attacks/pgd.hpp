@@ -1,0 +1,19 @@
+#pragma once
+// Projected Gradient Descent (Madry et al. 2018): iterated FGSM steps with
+// projection onto the Linf eps-ball, optional random start.
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class PGD : public Attack {
+ public:
+  explicit PGD(AttackConfig cfg) : Attack(cfg) {}
+  std::string name() const override {
+    return "PGD" + std::to_string(cfg_.steps);
+  }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+};
+
+}  // namespace ibrar::attacks

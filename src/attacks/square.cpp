@@ -1,0 +1,97 @@
+#include "attacks/square.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::attacks {
+namespace {
+
+/// Margin loss per sample: z_y - max_{j != y} z_j (negative = misclassified).
+std::vector<float> margins(const Tensor& logits,
+                           const std::vector<std::int64_t>& y) {
+  const auto n = logits.dim(0), c = logits.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    float best_other = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < c; ++j) {
+      if (j == y[static_cast<std::size_t>(i)]) continue;
+      best_other = std::max(best_other, logits.at(i, j));
+    }
+    out[static_cast<std::size_t>(i)] =
+        logits.at(i, y[static_cast<std::size_t>(i)]) - best_other;
+  }
+  return out;
+}
+
+/// Square side length schedule from the remaining query budget (coarse
+/// version of the original's p-schedule).
+std::int64_t side_for_step(std::int64_t step, std::int64_t steps, float p_init,
+                           std::int64_t hw) {
+  const float frac = p_init * std::max(0.1f, 1.0f - static_cast<float>(step) /
+                                                        static_cast<float>(steps));
+  const auto side = static_cast<std::int64_t>(
+      std::llround(std::sqrt(frac) * static_cast<float>(hw)));
+  return std::clamp<std::int64_t>(side, 1, hw);
+}
+
+}  // namespace
+
+Tensor SquareAttack::perturb(models::TapClassifier& model, const Tensor& x,
+                             const std::vector<std::int64_t>& y) {
+  AttackModeGuard guard(model);
+  ag::NoGradGuard ng;  // fully black-box: forward passes only
+  const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+
+  // Init: vertical +/-eps stripes (as in the reference implementation).
+  Tensor adv = x;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      for (std::int64_t xw = 0; xw < w; ++xw) {
+        const float s = rng_.bernoulli(0.5) ? cfg_.eps : -cfg_.eps;
+        for (std::int64_t yh = 0; yh < h; ++yh) adv.at(i, ic, yh, xw) += s;
+      }
+    }
+  }
+  project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+
+  auto forward_margins = [&](const Tensor& imgs) {
+    return margins(model.forward(ag::Var::constant(imgs)).value(), y);
+  };
+  std::vector<float> best = forward_margins(adv);
+
+  Tensor proposal = adv;
+  for (std::int64_t step = 0; step < cfg_.steps; ++step) {
+    const auto side = side_for_step(step, cfg_.steps, p_init_, std::min(h, w));
+    proposal = adv;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (best[static_cast<std::size_t>(i)] < 0) continue;  // already fooled
+      const auto oy = rng_.randint(0, h - side);
+      const auto ox = rng_.randint(0, w - side);
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        const float s = rng_.bernoulli(0.5) ? cfg_.eps : -cfg_.eps;
+        for (std::int64_t yy = 0; yy < side; ++yy) {
+          for (std::int64_t xx = 0; xx < side; ++xx) {
+            proposal.at(i, ic, oy + yy, ox + xx) =
+                x.at(i, ic, oy + yy, ox + xx) + s;
+          }
+        }
+      }
+    }
+    project_linf(proposal, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+    const auto cand = forward_margins(proposal);
+    const std::int64_t img = c * h * w;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (cand[static_cast<std::size_t>(i)] < best[static_cast<std::size_t>(i)]) {
+        best[static_cast<std::size_t>(i)] = cand[static_cast<std::size_t>(i)];
+        std::copy_n(proposal.data().begin() + i * img, img,
+                    adv.data().begin() + i * img);
+      }
+    }
+  }
+  return adv;
+}
+
+}  // namespace ibrar::attacks

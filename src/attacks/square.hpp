@@ -1,0 +1,32 @@
+#pragma once
+// Square Attack (Andriushchenko et al. 2020), simplified: black-box random
+// search in the Linf ball. Each iteration proposes flipping a random square
+// patch of the perturbation to +/-eps per channel and keeps the proposal if
+// the margin loss does not decrease.
+//
+// Included as an extension beyond the paper's battery: a gradient-free attack
+// is the standard control for gradient masking — a defense whose PGD accuracy
+// far exceeds its Square accuracy is obfuscating gradients rather than
+// actually robust.
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+class SquareAttack : public Attack {
+ public:
+  /// cfg.steps = number of random-search queries; p_init = initial fraction
+  /// of the image covered by a proposal square.
+  explicit SquareAttack(AttackConfig cfg, float p_init = 0.3f)
+      : Attack(cfg), p_init_(p_init) {}
+  std::string name() const override {
+    return "Square" + std::to_string(cfg_.steps);
+  }
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+ private:
+  float p_init_;
+};
+
+}  // namespace ibrar::attacks

@@ -1,0 +1,38 @@
+#include "autograd/gradcheck.hpp"
+
+#include <cmath>
+
+namespace ibrar::ag {
+
+GradCheckResult gradcheck(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, double eps, double tol) {
+  for (auto& in : inputs) in.zero_grad();
+  Var out = fn(inputs);
+  out.backward();
+
+  GradCheckResult r;
+  for (auto& in : inputs) {
+    const Tensor analytic = in.grad();
+    Tensor& x = in.mutable_value();
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const float orig = x[i];
+      x[i] = orig + static_cast<float>(eps);
+      const double fp = fn(inputs).value().item();
+      x[i] = orig - static_cast<float>(eps);
+      const double fm = fn(inputs).value().item();
+      x[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double a = analytic[i];
+      const double abs_err = std::fabs(a - numeric);
+      const double rel_err =
+          abs_err / std::max(1.0, std::max(std::fabs(a), std::fabs(numeric)));
+      r.max_abs_err = std::max(r.max_abs_err, abs_err);
+      r.max_rel_err = std::max(r.max_rel_err, rel_err);
+    }
+  }
+  r.ok = r.max_rel_err <= tol;
+  return r;
+}
+
+}  // namespace ibrar::ag

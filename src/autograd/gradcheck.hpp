@@ -1,0 +1,23 @@
+#pragma once
+// Finite-difference gradient verification used by the test suite.
+
+#include <functional>
+#include <vector>
+
+#include "autograd/var.hpp"
+
+namespace ibrar::ag {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  bool ok = false;
+};
+
+/// Compare analytic gradients of `fn` (scalar-valued over `inputs`) against
+/// central finite differences. Inputs must be leaves with requires_grad.
+GradCheckResult gradcheck(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, double eps = 1e-3, double tol = 5e-2);
+
+}  // namespace ibrar::ag

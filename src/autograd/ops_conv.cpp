@@ -1,0 +1,79 @@
+#include <stdexcept>
+
+#include "autograd/ops.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::ag {
+
+Var conv2d(const Var& x, const Var& w, const Var& bias, const Conv2dSpec& spec) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  const bool has_bias = bias.defined();
+  Tensor out = ibrar::conv2d(xv, wv, has_bias ? &bias.value() : nullptr, spec);
+
+  // Save im2col columns for backward (recomputing would double conv cost; the
+  // models here are small enough that memory is the cheaper trade).
+  const Tensor cols = im2col(xv, spec);
+  const auto f = wv.dim(0);
+  const Tensor wmat = wv.reshape({f, wv.numel() / f});
+  const Shape x_shape = xv.shape();
+  const Shape w_shape = wv.shape();
+
+  std::vector<Var> parents = {x, w};
+  if (has_bias) parents.push_back(bias);
+
+  return make_op(std::move(out), std::move(parents),
+                 [cols, wmat, x_shape, w_shape, spec, has_bias](Node& n) {
+    const auto nN = n.value.shape()[0];
+    const auto nf = n.value.shape()[1];
+    const auto spatial = n.value.shape()[2] * n.value.shape()[3];
+    // NCHW grad -> (N*OH*OW, F) spatial-major layout used by the GEMM.
+    Tensor gprod({nN * spatial, nf});
+    {
+      const float* pg = n.grad.data().data();
+      float* pp = gprod.data().data();
+      for (std::int64_t in_n = 0; in_n < nN; ++in_n) {
+        for (std::int64_t of = 0; of < nf; ++of) {
+          const float* plane = pg + (in_n * nf + of) * spatial;
+          for (std::int64_t s = 0; s < spatial; ++s) {
+            pp[(in_n * spatial + s) * nf + of] = plane[s];
+          }
+        }
+      }
+    }
+    if (n.parents[0]->requires_grad) {
+      const Tensor gcols = ibrar::matmul(gprod, wmat);  // (N*OH*OW, CKK)
+      n.parents[0]->accumulate(col2im(gcols, x_shape, spec));
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor gw = ibrar::matmul_tn(gprod, cols);  // (F, CKK)
+      n.parents[1]->accumulate(gw.reshape(w_shape));
+    }
+    if (has_bias && n.parents[2]->requires_grad) {
+      n.parents[2]->accumulate(ibrar::sum_axis(gprod, 0));
+    }
+  });
+}
+
+Var maxpool2d(const Var& x, std::int64_t kernel, std::int64_t stride) {
+  PoolResult r = ibrar::maxpool2d(x.value(), kernel, stride);
+  const Shape x_shape = x.shape();
+  auto argmax = std::move(r.argmax);
+  return make_op(std::move(r.out), {x}, [x_shape, argmax](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    n.parents[0]->accumulate(maxpool2d_backward(n.grad, x_shape, argmax));
+  });
+}
+
+Var global_avg_pool(const Var& x) {
+  const Shape x_shape = x.shape();
+  return make_op(ibrar::global_avg_pool(x.value()), {x}, [x_shape](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    n.parents[0]->accumulate(global_avg_pool_backward(n.grad, x_shape));
+  });
+}
+
+}  // namespace ibrar::ag

@@ -1,0 +1,106 @@
+#include "autograd/var.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ibrar::ag {
+namespace {
+
+bool& grad_flag() {
+  thread_local bool enabled = true;
+  return enabled;
+}
+
+}  // namespace
+
+void Node::accumulate(const Tensor& g) {
+  if (!grad_ready) {
+    grad = Tensor(value.shape());
+    grad_ready = true;
+  }
+  if (!(g.shape() == grad.shape())) {
+    throw std::logic_error("grad shape mismatch: " + shape_str(g.shape()) +
+                           " vs " + shape_str(grad.shape()));
+  }
+  auto pg = grad.data();
+  const auto ps = g.data();
+  for (std::size_t i = 0; i < pg.size(); ++i) pg[i] += ps[i];
+}
+
+Var::Var(Tensor value, bool requires_grad) : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::grad() const {
+  if (!node_->grad_ready) {
+    node_->grad = Tensor(node_->value.shape());
+    node_->grad_ready = true;
+  }
+  return node_->grad;
+}
+
+void Var::zero_grad() {
+  node_->grad = Tensor(node_->value.shape());
+  node_->grad_ready = true;
+}
+
+void Var::backward() {
+  if (!defined()) throw std::logic_error("backward on undefined Var");
+  if (node_->value.numel() != 1) {
+    throw std::logic_error("backward requires a scalar root, got shape " +
+                           shape_str(node_->value.shape()));
+  }
+
+  // Iterative post-order DFS for the topological order (recursion would
+  // overflow on deep VGG graphs).
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      Node* child = n->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      topo.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  node_->accumulate(Tensor(node_->value.shape(), 1.0f));
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad_ready) n->backward_fn(*n);
+  }
+}
+
+bool grad_enabled() { return grad_flag(); }
+
+NoGradGuard::NoGradGuard() : prev_(grad_flag()) { grad_flag() = false; }
+NoGradGuard::~NoGradGuard() { grad_flag() = prev_; }
+
+Var make_op(Tensor value, std::vector<Var> parents,
+            std::function<void(Node&)> backward_fn) {
+  bool needs = false;
+  if (grad_enabled()) {
+    for (const auto& p : parents) needs = needs || p.requires_grad();
+  }
+  if (!needs) return Var::constant(std::move(value));
+
+  Var out(std::move(value), true);
+  auto node = out.node();
+  node->parents.reserve(parents.size());
+  for (auto& p : parents) node->parents.push_back(p.node());
+  node->backward_fn = std::move(backward_fn);
+  return out;
+}
+
+Var detach(const Var& v) { return Var::constant(v.value()); }
+
+}  // namespace ibrar::ag

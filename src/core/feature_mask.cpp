@@ -1,0 +1,36 @@
+#include "core/feature_mask.hpp"
+
+#include "mi/channel_score.hpp"
+
+namespace ibrar::core {
+
+std::vector<float> last_conv_channel_scores(models::TapClassifier& model,
+                                            const data::Batch& batch) {
+  ag::NoGradGuard ng;
+  const bool was = model.training();
+  model.set_training(false);
+  // Score the unmasked representation so previously-dropped channels can be
+  // re-evaluated rather than frozen at score ~0.
+  const Tensor saved_mask = model.channel_mask();
+  model.clear_channel_mask();
+  auto out = model.forward_with_taps(ag::Var::constant(batch.x));
+  const Tensor feats = out.taps.at(model.last_conv_tap_index()).value();
+  if (saved_mask.rank() == 1 && saved_mask.numel() > 0) {
+    model.set_channel_mask(saved_mask);
+  }
+  model.set_training(was);
+  return mi::channel_label_scores(feats, batch.y, model.num_classes());
+}
+
+std::vector<float> FeatureMask::update(models::TapClassifier& model,
+                                       const data::Dataset& ds) {
+  const auto n = std::min<std::int64_t>(cfg_.scoring_samples, ds.size());
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  const auto batch = data::make_batch(ds, idx);
+  const auto scores = last_conv_channel_scores(model, batch);
+  model.set_channel_mask(mi::mask_from_scores(scores, cfg_.drop_fraction));
+  return scores;
+}
+
+}  // namespace ibrar::core

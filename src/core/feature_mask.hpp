@@ -1,0 +1,36 @@
+#pragma once
+// Feature-channel mask (paper Eq. 3): score every channel of the last conv
+// layer by its HSIC dependence on the labels over a scoring batch, drop the
+// lowest 5%, and install the resulting binary mask into the model so it is
+// applied on every subsequent forward (train and eval).
+
+#include "data/dataset.hpp"
+#include "models/classifier.hpp"
+
+namespace ibrar::core {
+
+struct FeatureMaskConfig {
+  float drop_fraction = 0.05f;   ///< paper: eliminate 5% of channels
+  std::int64_t scoring_samples = 200;  ///< batch used to estimate I(f_c, Y)
+};
+
+class FeatureMask {
+ public:
+  explicit FeatureMask(FeatureMaskConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Recompute channel scores on (a prefix of) `ds` and install the mask.
+  /// Returns the scores (length C) for inspection.
+  std::vector<float> update(models::TapClassifier& model,
+                            const data::Dataset& ds);
+
+  const FeatureMaskConfig& config() const { return cfg_; }
+
+ private:
+  FeatureMaskConfig cfg_;
+};
+
+/// One-shot helper: compute scores for the model's last conv tap on a batch.
+std::vector<float> last_conv_channel_scores(models::TapClassifier& model,
+                                            const data::Batch& batch);
+
+}  // namespace ibrar::core

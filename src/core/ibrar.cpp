@@ -1,0 +1,35 @@
+#include "core/ibrar.hpp"
+
+namespace ibrar::core {
+
+ag::Var IBRARObjective::compute(models::TapClassifier& model,
+                                const data::Batch& batch) {
+  if (!base_) {
+    // Plain IB-RAR: one tapped forward provides both the CE and MI terms.
+    ag::Var input = ag::Var::constant(batch.x);
+    auto out = model.forward_with_taps(input);
+    ag::Var loss = ag::cross_entropy(out.logits, batch.y);
+    return ag::add(loss,
+                   mi_loss_term(mi_cfg_, model, input, out.taps, batch.y));
+  }
+  // Eq. (2): adversarial (or other) base loss + MI regularizer computed on
+  // the clean inputs' intermediate representations.
+  ag::Var base_loss = base_->compute(model, batch);
+  ag::Var input = ag::Var::constant(batch.x);
+  auto out = model.forward_with_taps(input);
+  return ag::add(base_loss,
+                 mi_loss_term(mi_cfg_, model, input, out.taps, batch.y));
+}
+
+std::function<void(std::int64_t, models::TapClassifier&)> make_mask_hook(
+    FeatureMaskConfig cfg, const data::Dataset& scoring_set,
+    std::int64_t first_epoch) {
+  auto mask = std::make_shared<FeatureMask>(cfg);
+  const data::Dataset* ds = &scoring_set;
+  return [mask, ds, first_epoch](std::int64_t epoch,
+                                 models::TapClassifier& model) {
+    if (epoch + 1 >= first_epoch) mask->update(model, *ds);
+  };
+}
+
+}  // namespace ibrar::core

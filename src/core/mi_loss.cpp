@@ -1,0 +1,78 @@
+#include "core/mi_loss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/registry.hpp"
+
+namespace ibrar::core {
+namespace {
+
+std::vector<std::size_t> indices_for_names(const std::vector<std::string>& names,
+                                           models::TapClassifier& model) {
+  const auto& taps = model.tap_names();
+  std::vector<std::size_t> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    const auto it = std::find(taps.begin(), taps.end(), n);
+    if (it == taps.end()) {
+      throw std::invalid_argument("mi_loss: unknown tap name " + n);
+    }
+    out.push_back(static_cast<std::size_t>(it - taps.begin()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> resolve_layer_indices(const MILossConfig& cfg,
+                                               models::TapClassifier& model) {
+  switch (cfg.selection) {
+    case LayerSelection::kAll: {
+      std::vector<std::size_t> all(model.tap_names().size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+      return all;
+    }
+    case LayerSelection::kExplicit:
+      return indices_for_names(cfg.layers, model);
+    case LayerSelection::kRobust: {
+      // Use an explicit override when provided, else the per-architecture
+      // default the paper reports (conv block 5 + fc1 + fc2 for VGG16).
+      if (!cfg.layers.empty()) return indices_for_names(cfg.layers, model);
+      // Identify the architecture by its tap names.
+      const auto& taps = model.tap_names();
+      std::vector<std::string> robust;
+      if (std::find(taps.begin(), taps.end(), "conv_block5") != taps.end()) {
+        robust = models::default_robust_layers("vgg16");
+      } else if (std::find(taps.begin(), taps.end(), "stage4") != taps.end()) {
+        robust = models::default_robust_layers("resnet18");
+      } else if (std::find(taps.begin(), taps.end(), "group3") != taps.end()) {
+        robust = models::default_robust_layers("wrn28");
+      } else {
+        robust = {taps.back()};
+      }
+      return indices_for_names(robust, model);
+    }
+  }
+  throw std::logic_error("resolve_layer_indices: bad selection");
+}
+
+ag::Var mi_loss_term(const MILossConfig& cfg, models::TapClassifier& model,
+                     const ag::Var& x, const std::vector<ag::Var>& taps,
+                     const std::vector<std::int64_t>& labels) {
+  return mi::ib_objective(x, taps, labels, model.num_classes(),
+                          to_ib_config(cfg, model));
+}
+
+mi::IBObjectiveConfig to_ib_config(const MILossConfig& cfg,
+                                   models::TapClassifier& model) {
+  mi::IBObjectiveConfig out;
+  out.alpha = cfg.alpha;
+  out.beta = cfg.beta;
+  out.layer_indices = resolve_layer_indices(cfg, model);
+  out.sigma_mult = cfg.sigma_mult;
+  out.sigma_mult_y = cfg.sigma_mult_y;
+  return out;
+}
+
+}  // namespace ibrar::core

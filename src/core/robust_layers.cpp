@@ -1,0 +1,72 @@
+#include "core/robust_layers.hpp"
+
+#include "core/ibrar.hpp"
+#include "train/evaluate.hpp"
+#include "util/logging.hpp"
+
+namespace ibrar::core {
+
+RobustLayerReport RobustLayerSelector::select(const data::Dataset& train_set,
+                                              const data::Dataset& test_set) {
+  RobustLayerReport report;
+
+  // Baseline: CE only.
+  {
+    Rng rng(cfg_.train.seed);
+    auto model = factory_(rng);
+    train::Trainer trainer(model, std::make_shared<train::CEObjective>(),
+                           cfg_.train);
+    trainer.fit(train_set);
+    attacks::PGD pgd(cfg_.eval_attack);
+    report.baseline_adv_acc = train::evaluate_adversarial(
+        *model, test_set, pgd, cfg_.train.batch_size, cfg_.eval_samples);
+    report.baseline_test_acc =
+        train::evaluate_clean(*model, test_set, cfg_.train.batch_size);
+    logging::info("robust-layers baseline: adv=", report.baseline_adv_acc,
+              " clean=", report.baseline_test_acc);
+  }
+
+  // One probe network per tap, MI loss restricted to that tap.
+  std::vector<std::string> tap_names;
+  {
+    Rng rng(cfg_.train.seed);
+    tap_names = factory_(rng)->tap_names();
+  }
+  for (const auto& layer : tap_names) {
+    Rng rng(cfg_.train.seed);
+    auto model = factory_(rng);
+    MILossConfig mi;
+    mi.alpha = cfg_.alpha;
+    mi.beta = cfg_.beta;
+    mi.selection = LayerSelection::kExplicit;
+    mi.layers = {layer};
+    auto obj = std::make_shared<IBRARObjective>(nullptr, mi);
+    train::Trainer trainer(model, obj, cfg_.train);
+    trainer.fit(train_set);
+
+    attacks::PGD pgd(cfg_.eval_attack);
+    LayerProbeResult r;
+    r.layer = layer;
+    r.adv_acc = train::evaluate_adversarial(*model, test_set, pgd,
+                                            cfg_.train.batch_size,
+                                            cfg_.eval_samples);
+    r.test_acc = train::evaluate_clean(*model, test_set, cfg_.train.batch_size);
+    r.robust = r.adv_acc >= report.baseline_adv_acc + cfg_.margin;
+    logging::info("robust-layers probe ", layer, ": adv=", r.adv_acc,
+              " clean=", r.test_acc, r.robust ? "  [ROBUST]" : "");
+    if (r.robust) report.robust_layers.push_back(layer);
+    report.per_layer.push_back(std::move(r));
+  }
+
+  // Fallback: if nothing cleared the margin, take the best layer — the
+  // downstream MILossConfig requires a non-empty set.
+  if (report.robust_layers.empty() && !report.per_layer.empty()) {
+    const auto best = std::max_element(
+        report.per_layer.begin(), report.per_layer.end(),
+        [](const auto& a, const auto& b) { return a.adv_acc < b.adv_acc; });
+    report.robust_layers.push_back(best->layer);
+  }
+  return report;
+}
+
+}  // namespace ibrar::core

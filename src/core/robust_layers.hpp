@@ -1,0 +1,54 @@
+#pragma once
+// Robust-layer selection (paper Sec. 2.2 "Selection of Robust Layers" and
+// Table 3): train one fresh network per hidden layer with the MI loss applied
+// to that single layer, measure PGD accuracy, and call a layer robust when it
+// clearly beats the CE-only baseline.
+
+#include <functional>
+
+#include "attacks/pgd.hpp"
+#include "core/mi_loss.hpp"
+#include "train/trainer.hpp"
+
+namespace ibrar::core {
+
+struct RobustLayerConfig {
+  float alpha = 1.0f;
+  float beta = 0.1f;
+  train::TrainConfig train;                 ///< probe training schedule
+  attacks::AttackConfig eval_attack;        ///< PGD used for the robustness probe
+  std::int64_t eval_samples = 200;
+  double margin = 0.02;  ///< "obviously higher" = baseline + margin
+};
+
+struct LayerProbeResult {
+  std::string layer;
+  double adv_acc = 0.0;
+  double test_acc = 0.0;
+  bool robust = false;
+};
+
+struct RobustLayerReport {
+  std::vector<LayerProbeResult> per_layer;
+  double baseline_adv_acc = 0.0;   ///< CE-only network under the same attack
+  double baseline_test_acc = 0.0;
+  std::vector<std::string> robust_layers;
+};
+
+class RobustLayerSelector {
+ public:
+  /// `factory` builds a fresh, identically-configured model per probe.
+  RobustLayerSelector(std::function<models::TapClassifierPtr(Rng&)> factory,
+                      RobustLayerConfig cfg)
+      : factory_(std::move(factory)), cfg_(std::move(cfg)) {}
+
+  /// Run the full probe sweep; deterministic given cfg.train.seed.
+  RobustLayerReport select(const data::Dataset& train_set,
+                           const data::Dataset& test_set);
+
+ private:
+  std::function<models::TapClassifierPtr(Rng&)> factory_;
+  RobustLayerConfig cfg_;
+};
+
+}  // namespace ibrar::core

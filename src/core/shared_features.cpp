@@ -1,0 +1,149 @@
+#include "core/shared_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mi/channel_score.hpp"
+
+namespace ibrar::core {
+namespace {
+
+/// Mean penultimate feature per class; rows are classes, zero row when a
+/// class is absent from the scoring batch.
+Tensor class_centroids(const Tensor& feats, const std::vector<std::int64_t>& y,
+                       std::int64_t num_classes) {
+  const auto d = feats.dim(1);
+  Tensor centroids({num_classes, d});
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (std::int64_t i = 0; i < feats.dim(0); ++i) {
+    const auto c = y[static_cast<std::size_t>(i)];
+    counts[static_cast<std::size_t>(c)]++;
+    for (std::int64_t k = 0; k < d; ++k) centroids.at(c, k) += feats.at(i, k);
+  }
+  for (std::int64_t c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<std::size_t>(c)] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<std::size_t>(c)]);
+    for (std::int64_t k = 0; k < d; ++k) centroids.at(c, k) *= inv;
+  }
+  return centroids;
+}
+
+float cosine(const Tensor& m, std::int64_t a, std::int64_t b) {
+  const auto d = m.dim(1);
+  double dot = 0, na = 0, nb = 0;
+  for (std::int64_t k = 0; k < d; ++k) {
+    dot += double(m.at(a, k)) * m.at(b, k);
+    na += double(m.at(a, k)) * m.at(a, k);
+    nb += double(m.at(b, k)) * m.at(b, k);
+  }
+  const double denom = std::sqrt(na * nb);
+  return denom > 1e-12 ? static_cast<float>(dot / denom) : 0.0f;
+}
+
+}  // namespace
+
+SharedFeatureReport analyze_shared_features(models::TapClassifier& model,
+                                            const data::Dataset& ds,
+                                            const SharedFeatureConfig& cfg) {
+  const auto n = std::min<std::int64_t>(cfg.scoring_samples, ds.size());
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  const auto batch = data::make_batch(ds, idx);
+  const auto num_classes = model.num_classes();
+
+  // One tapped forward pass provides both representations.
+  ag::NoGradGuard ng;
+  const bool was = model.training();
+  model.set_training(false);
+  auto out = model.forward_with_taps(ag::Var::constant(batch.x));
+  model.set_training(was);
+
+  const Tensor& pen_raw = out.taps.back().value();
+  const Tensor pen = pen_raw.reshape({pen_raw.dim(0),
+                                      pen_raw.numel() / pen_raw.dim(0)});
+  const Tensor& conv = out.taps.at(model.last_conv_tap_index()).value();
+
+  SharedFeatureReport report;
+
+  // 1. class similarity from penultimate centroids.
+  const Tensor centroids = class_centroids(pen, batch.y, num_classes);
+  report.class_similarity = Tensor({num_classes, num_classes});
+  for (std::int64_t a = 0; a < num_classes; ++a) {
+    for (std::int64_t b = 0; b < num_classes; ++b) {
+      report.class_similarity.at(a, b) = cosine(centroids, a, b);
+    }
+  }
+  for (std::int64_t a = 0; a < num_classes; ++a) {
+    for (std::int64_t b = a + 1; b < num_classes; ++b) {
+      report.ranked_pairs.emplace_back(a, b);
+    }
+  }
+  std::stable_sort(report.ranked_pairs.begin(), report.ranked_pairs.end(),
+                   [&](const auto& p, const auto& q) {
+                     return report.class_similarity.at(p.first, p.second) >
+                            report.class_similarity.at(q.first, q.second);
+                   });
+
+  // 2. per-channel shared score over the most similar pairs: a channel whose
+  // mean activation is high for BOTH classes of a confusable pair carries a
+  // shared feature.
+  const auto c_channels = conv.dim(1);
+  const std::int64_t spatial = conv.rank() == 4 ? conv.dim(2) * conv.dim(3) : 1;
+  Tensor chan_mean({num_classes, c_channels});
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (std::int64_t i = 0; i < conv.dim(0); ++i) {
+    const auto cls = batch.y[static_cast<std::size_t>(i)];
+    counts[static_cast<std::size_t>(cls)]++;
+    for (std::int64_t ch = 0; ch < c_channels; ++ch) {
+      double s = 0;
+      const float* plane = conv.data().data() + (i * c_channels + ch) * spatial;
+      for (std::int64_t k = 0; k < spatial; ++k) s += plane[k];
+      chan_mean.at(cls, ch) += static_cast<float>(s / spatial);
+    }
+  }
+  for (std::int64_t cls = 0; cls < num_classes; ++cls) {
+    if (counts[static_cast<std::size_t>(cls)] == 0) continue;
+    for (std::int64_t ch = 0; ch < c_channels; ++ch) {
+      chan_mean.at(cls, ch) /= static_cast<float>(counts[static_cast<std::size_t>(cls)]);
+    }
+  }
+  report.channel_shared_score.assign(static_cast<std::size_t>(c_channels), 0.0f);
+  const auto pairs_used = std::min<std::size_t>(
+      static_cast<std::size_t>(cfg.top_pairs), report.ranked_pairs.size());
+  for (std::size_t p = 0; p < pairs_used; ++p) {
+    const auto& [a, b] = report.ranked_pairs[p];
+    for (std::int64_t ch = 0; ch < c_channels; ++ch) {
+      report.channel_shared_score[static_cast<std::size_t>(ch)] +=
+          std::min(std::max(chan_mean.at(a, ch), 0.0f),
+                   std::max(chan_mean.at(b, ch), 0.0f));
+    }
+  }
+  return report;
+}
+
+Tensor shared_feature_mask(const SharedFeatureReport& report,
+                           float drop_fraction) {
+  // Highest shared score = dropped; reuse the Eq. (3) quantile machinery by
+  // inverting the scores (it drops the lowest).
+  std::vector<float> inverted;
+  inverted.reserve(report.channel_shared_score.size());
+  for (const auto s : report.channel_shared_score) inverted.push_back(-s);
+  return mi::mask_from_scores(inverted, drop_fraction);
+}
+
+Tensor combine_masks(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape()) || a.rank() != 1) {
+    throw std::invalid_argument("combine_masks: masks must be matching 1-D");
+  }
+  Tensor out(a.shape());
+  float kept = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = (a[i] != 0.0f && b[i] != 0.0f) ? 1.0f : 0.0f;
+    kept += out[i];
+  }
+  if (kept == 0.0f && out.numel() > 0) out[0] = 1.0f;
+  return out;
+}
+
+}  // namespace ibrar::core

@@ -1,0 +1,52 @@
+#pragma once
+// Shared-feature distillation — the extension the paper sketches as future
+// work (Sec. 3.3): "distilling shared features for every class since the
+// shared features could help adversarial attack algorithms find small enough
+// perturbations. Then according to distilled features, the network can learn
+// well-generalized features but discard shared features."
+//
+// This module implements that pipeline on top of the tap interface:
+//   1. estimate class similarity from penultimate-feature centroids;
+//   2. score each last-conv channel by how strongly it fires for BOTH classes
+//      of the most similar (most confusable) pairs — a "shared feature"
+//      channel in the paper's sense;
+//   3. derive a mask that discards the most-shared channels, composable with
+//      the Eq. (3) relevance mask (elementwise AND).
+// The trade-off knob the paper anticipates (discard shared vs. keep enough
+// information) is the drop fraction.
+
+#include "data/dataset.hpp"
+#include "models/classifier.hpp"
+
+namespace ibrar::core {
+
+struct SharedFeatureReport {
+  /// (num_classes, num_classes) cosine similarity of penultimate centroids.
+  Tensor class_similarity;
+  /// The class pairs ranked by similarity, most similar first (a < b).
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranked_pairs;
+  /// Per last-conv channel: how much it fires jointly for the top pairs.
+  std::vector<float> channel_shared_score;
+};
+
+struct SharedFeatureConfig {
+  std::int64_t scoring_samples = 200;  ///< samples used for the estimates
+  std::int64_t top_pairs = 3;          ///< pairs treated as "similar classes"
+};
+
+/// Estimate class similarity and per-channel shared-feature scores.
+SharedFeatureReport analyze_shared_features(models::TapClassifier& model,
+                                            const data::Dataset& ds,
+                                            const SharedFeatureConfig& cfg = {});
+
+/// Binary mask (C) discarding the `drop_fraction` most-shared channels
+/// (at least one dropped when drop_fraction > 0, at least one kept).
+Tensor shared_feature_mask(const SharedFeatureReport& report,
+                           float drop_fraction);
+
+/// Combine with another binary mask (e.g. the Eq. (3) relevance mask):
+/// a channel survives only if both masks keep it, except that the result
+/// always keeps at least one channel.
+Tensor combine_masks(const Tensor& a, const Tensor& b);
+
+}  // namespace ibrar::core

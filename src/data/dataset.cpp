@@ -1,0 +1,42 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace ibrar::data {
+
+Dataset Dataset::subset(const std::vector<std::int64_t>& idx) const {
+  Dataset out;
+  out.images = take_rows(images, idx);
+  out.labels.reserve(idx.size());
+  for (const auto i : idx) {
+    out.labels.push_back(labels.at(static_cast<std::size_t>(i)));
+  }
+  out.class_names = class_names;
+  out.num_classes = num_classes;
+  return out;
+}
+
+Dataset Dataset::head(std::int64_t n) const {
+  n = std::min<std::int64_t>(n, size());
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  return subset(idx);
+}
+
+std::vector<std::int64_t> Dataset::class_counts() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (const auto y : labels) counts.at(static_cast<std::size_t>(y))++;
+  return counts;
+}
+
+Batch make_batch(const Dataset& ds, const std::vector<std::int64_t>& idx) {
+  Batch b;
+  b.x = take_rows(ds.images, idx);
+  b.y.reserve(idx.size());
+  for (const auto i : idx) b.y.push_back(ds.labels.at(static_cast<std::size_t>(i)));
+  return b;
+}
+
+}  // namespace ibrar::data

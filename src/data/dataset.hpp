@@ -1,0 +1,42 @@
+#pragma once
+// In-memory labeled image dataset (NCHW float images in [0,1]).
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ibrar::data {
+
+struct Dataset {
+  Tensor images;                        ///< (N, C, H, W), values in [0,1]
+  std::vector<std::int64_t> labels;     ///< length N
+  std::vector<std::string> class_names; ///< length num_classes
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.rank() == 4 ? images.dim(0) : 0; }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Copy of the examples at `idx` (order preserved).
+  Dataset subset(const std::vector<std::int64_t>& idx) const;
+
+  /// First `n` examples.
+  Dataset head(std::int64_t n) const;
+
+  /// Per-class example counts.
+  std::vector<std::int64_t> class_counts() const;
+};
+
+/// One minibatch: images plus integer labels.
+struct Batch {
+  Tensor x;                          ///< (B, C, H, W)
+  std::vector<std::int64_t> y;       ///< length B
+  std::int64_t size() const { return x.dim(0); }
+};
+
+/// Extract a batch by explicit indices.
+Batch make_batch(const Dataset& ds, const std::vector<std::int64_t>& idx);
+
+}  // namespace ibrar::data

@@ -1,0 +1,38 @@
+#include "data/loader.hpp"
+
+#include <stdexcept>
+
+namespace ibrar::data {
+
+DataLoader::DataLoader(const Dataset& ds, std::int64_t batch_size, bool shuffle,
+                       Rng rng)
+    : ds_(&ds), batch_size_(batch_size), shuffle_(shuffle), rng_(rng) {
+  if (batch_size_ <= 0) throw std::invalid_argument("DataLoader: batch_size");
+  order_.resize(static_cast<std::size_t>(ds.size()));
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    order_[static_cast<std::size_t>(i)] = i;
+  }
+  begin_epoch();
+}
+
+void DataLoader::begin_epoch() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+bool DataLoader::next(Batch& out) {
+  const auto n = static_cast<std::int64_t>(order_.size());
+  if (cursor_ >= n) return false;
+  const auto end = std::min(cursor_ + batch_size_, n);
+  std::vector<std::int64_t> idx(order_.begin() + cursor_, order_.begin() + end);
+  out = make_batch(*ds_, idx);
+  cursor_ = end;
+  return true;
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  const auto n = static_cast<std::int64_t>(order_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace ibrar::data

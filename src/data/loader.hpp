@@ -1,0 +1,32 @@
+#pragma once
+// Minibatch iteration with optional shuffling.
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar::data {
+
+/// Epoch-oriented batch provider. Call begin_epoch() then next() until it
+/// returns false. Last partial batch is kept (not dropped).
+class DataLoader {
+ public:
+  DataLoader(const Dataset& ds, std::int64_t batch_size, bool shuffle, Rng rng);
+
+  void begin_epoch();
+
+  /// Fill `out` with the next batch; false at end of epoch.
+  bool next(Batch& out);
+
+  std::int64_t batches_per_epoch() const;
+  std::int64_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset* ds_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace ibrar::data

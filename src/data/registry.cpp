@@ -1,0 +1,28 @@
+#include "data/registry.hpp"
+
+#include <stdexcept>
+
+namespace ibrar::data {
+
+SyntheticData make_dataset(const std::string& name, std::int64_t train_size,
+                           std::int64_t test_size, std::uint64_t seed) {
+  if (name == "synth-cifar10") {
+    return generate(cifar10_like(train_size, test_size, seed));
+  }
+  if (name == "synth-cifar100") {
+    return generate(cifar100_like(train_size, test_size, seed));
+  }
+  if (name == "synth-svhn") {
+    return generate(svhn_like(train_size, test_size, seed));
+  }
+  if (name == "synth-tinyimagenet") {
+    return generate(tinyimagenet_like(train_size, test_size, seed));
+  }
+  throw std::invalid_argument("make_dataset: unknown dataset " + name);
+}
+
+std::vector<std::string> dataset_names() {
+  return {"synth-cifar10", "synth-cifar100", "synth-svhn", "synth-tinyimagenet"};
+}
+
+}  // namespace ibrar::data

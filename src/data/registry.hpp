@@ -1,0 +1,16 @@
+#pragma once
+// Name-based dataset factory mirroring the paper's four benchmarks.
+
+#include "data/synthetic.hpp"
+
+namespace ibrar::data {
+
+/// "synth-cifar10" | "synth-cifar100" | "synth-svhn" | "synth-tinyimagenet".
+/// Throws std::invalid_argument for unknown names.
+SyntheticData make_dataset(const std::string& name, std::int64_t train_size,
+                           std::int64_t test_size, std::uint64_t seed = 7);
+
+/// All registered dataset names.
+std::vector<std::string> dataset_names();
+
+}  // namespace ibrar::data

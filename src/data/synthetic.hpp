@@ -1,0 +1,86 @@
+#pragma once
+// Procedural image dataset generator — the offline stand-in for CIFAR-10/100,
+// SVHN and Tiny ImageNet (see DESIGN.md, substitution table).
+//
+// Each class c gets a prototype image composed of:
+//   * a ROBUST component: a smooth (low spatial frequency) random field unique
+//     to the class, with large amplitude — survives Linf-bounded noise;
+//   * a NON-ROBUST component: a high-frequency random field that is perfectly
+//     class-correlated but has small amplitude — an eps-ball perturbation can
+//     flip it, mirroring the non-robust features of Ilyas et al. that IB-RAR
+//     compresses away;
+//   * SHARED components: smooth fields added to *pairs* of similar classes
+//     (car<->truck, cat<->dog, ...), reproducing the confusion structure the
+//     paper reports in Table 5.
+// A sample is prototype + Gaussian pixel noise + random circular shift +
+// brightness jitter, clamped to [0,1].
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar::data {
+
+struct SyntheticConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  std::int64_t train_size = 2000;
+  std::int64_t test_size = 500;
+
+  // Amplitudes are tuned so that an undefended classifier prefers the crisp
+  // non-robust component (cheap to flip inside an 8/255 Linf ball) while the
+  // robust component survives the attack — the regime of Ilyas et al. that
+  // the paper's near-zero CE robustness reflects. The robust component's
+  // per-sample amplitude jitter is what keeps it the *less* reliable signal
+  // for plain ERM, so cross-entropy keeps leaning on the non-robust one even
+  // at convergence.
+  float robust_amplitude = 0.18f;     ///< low-frequency class signal
+  float robust_jitter = 0.7f;         ///< per-sample scale in [1-j, 1] * A_r
+  float nonrobust_amplitude = 0.08f;  ///< high-frequency class signal (~2*eps)
+  float shared_amplitude = 0.14f;     ///< similar-pair shared signal
+  float noise_std = 0.12f;            ///< i.i.d. pixel noise
+  float brightness_jitter = 0.05f;
+  std::int64_t max_shift = 1;         ///< circular shift in pixels
+
+  /// Pairs of similar classes sharing a feature field (indices into classes).
+  std::vector<std::pair<std::int64_t, std::int64_t>> shared_pairs;
+
+  /// Class sampling weights (empty = uniform). SVHN-like sets are imbalanced.
+  std::vector<double> class_weights;
+
+  std::vector<std::string> class_names;  ///< optional; default "class<i>"
+
+  std::uint64_t seed = 7;
+};
+
+/// Generated train/test split drawn from the same class prototypes.
+struct SyntheticData {
+  Dataset train;
+  Dataset test;
+  /// The clean prototypes per class (num_classes, C, H, W) — used by tests
+  /// to verify correlation structure.
+  Tensor prototypes;
+};
+
+/// Generate a dataset per `cfg`; deterministic in cfg.seed.
+SyntheticData generate(const SyntheticConfig& cfg);
+
+/// CIFAR-10-like config: 10 named classes with the paper's confusable pairs.
+SyntheticConfig cifar10_like(std::int64_t train_size, std::int64_t test_size,
+                             std::uint64_t seed = 7);
+
+/// CIFAR-100-like (20 superclass-scale classes, more overlap).
+SyntheticConfig cifar100_like(std::int64_t train_size, std::int64_t test_size,
+                              std::uint64_t seed = 11);
+
+/// SVHN-like: 10 digit classes, imbalanced priors (majority class ~19.6%,
+/// matching the accuracy plateau in the paper's Fig. 4), heavy inter-class
+/// similarity.
+SyntheticConfig svhn_like(std::int64_t train_size, std::int64_t test_size,
+                          std::uint64_t seed = 13);
+
+/// Tiny-ImageNet-like: 20 classes, higher noise, weaker class signal.
+SyntheticConfig tinyimagenet_like(std::int64_t train_size, std::int64_t test_size,
+                                  std::uint64_t seed = 17);
+
+}  // namespace ibrar::data

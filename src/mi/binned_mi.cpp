@@ -1,0 +1,76 @@
+#include "mi/binned_mi.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tensor/ops.hpp"
+
+namespace ibrar::mi {
+namespace {
+
+double entropy_bits(const std::unordered_map<std::uint64_t, std::int64_t>& counts,
+                    std::int64_t total) {
+  double h = 0.0;
+  for (const auto& [key, c] : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
+                  std::int64_t num_classes, std::int64_t bins) {
+  if (t.rank() != 2) throw std::invalid_argument("binned_mi: t must be 2-D");
+  const auto n = t.dim(0);
+  const auto d = t.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("binned_mi: label count mismatch");
+  }
+
+  const float lo = min_all(t);
+  const float hi = max_all(t);
+  const float range = std::max(hi - lo, 1e-9f);
+
+  // Hash each sample's binned activation pattern (FNV-1a over bin indices).
+  std::vector<std::uint64_t> codes(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float v = t.at(i, j);
+      auto b = static_cast<std::int64_t>((v - lo) / range * static_cast<float>(bins));
+      b = std::min(b, bins - 1);
+      h ^= static_cast<std::uint64_t>(b + 1);
+      h *= 1099511628211ull;
+    }
+    codes[static_cast<std::size_t>(i)] = h;
+  }
+
+  std::unordered_map<std::uint64_t, std::int64_t> code_counts;
+  std::vector<std::unordered_map<std::uint64_t, std::int64_t>> per_class(
+      static_cast<std::size_t>(num_classes));
+  std::vector<std::int64_t> class_totals(static_cast<std::size_t>(num_classes), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    code_counts[codes[static_cast<std::size_t>(i)]]++;
+    const auto y = labels[static_cast<std::size_t>(i)];
+    per_class.at(static_cast<std::size_t>(y))[codes[static_cast<std::size_t>(i)]]++;
+    class_totals[static_cast<std::size_t>(y)]++;
+  }
+
+  IPPoint p;
+  p.i_xt = entropy_bits(code_counts, n);  // H(T); H(T|X)=0 for deterministic T
+  double h_t_given_y = 0.0;
+  for (std::int64_t y = 0; y < num_classes; ++y) {
+    const auto ny = class_totals[static_cast<std::size_t>(y)];
+    if (ny == 0) continue;
+    const double py = static_cast<double>(ny) / static_cast<double>(n);
+    h_t_given_y += py * entropy_bits(per_class[static_cast<std::size_t>(y)], ny);
+  }
+  p.i_ty = std::max(0.0, p.i_xt - h_t_given_y);
+  return p;
+}
+
+}  // namespace ibrar::mi

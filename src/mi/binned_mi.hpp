@@ -1,0 +1,24 @@
+#pragma once
+// Binning-based mutual information estimator for the information-plane plot
+// (paper Fig. 5), following Shwartz-Ziv & Tishby: activations are discretized
+// into fixed bins; I(X;T) = H(T) (T is deterministic given X) and
+// I(T;Y) = H(T) - H(T|Y), both in bits.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ibrar::mi {
+
+struct IPPoint {
+  double i_xt = 0.0;  ///< I(X;T) in bits (entropy of the binned code)
+  double i_ty = 0.0;  ///< I(T;Y) in bits
+};
+
+/// Estimate the information-plane coordinates of a representation `t` (rows =
+/// samples, flattened features) against integer labels, using `bins` uniform
+/// bins spanning the empirical activation range.
+IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
+                  std::int64_t num_classes, std::int64_t bins = 30);
+
+}  // namespace ibrar::mi

@@ -1,0 +1,61 @@
+#include "mi/channel_score.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mi/hsic.hpp"
+#include "tensor/ops.hpp"
+
+namespace ibrar::mi {
+
+std::vector<float> channel_label_scores(const Tensor& features,
+                                        const std::vector<std::int64_t>& labels,
+                                        std::int64_t num_classes) {
+  if (features.rank() != 4 && features.rank() != 2) {
+    throw std::invalid_argument("channel_label_scores: features must be NCHW or NC");
+  }
+  const auto n = features.dim(0);
+  const auto c = features.dim(1);
+  const std::int64_t spatial =
+      features.rank() == 4 ? features.dim(2) * features.dim(3) : 1;
+
+  const Tensor y = one_hot(labels, num_classes);
+  const Tensor ky = gram_gaussian(y, scaled_sigma(num_classes, 1.0f));
+
+  std::vector<float> scores(static_cast<std::size_t>(c));
+  Tensor fc({n, spatial});
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    const float* pf = features.data().data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy_n(pf + (i * c + ic) * spatial, spatial,
+                  fc.data().data() + i * spatial);
+    }
+    const float sigma = std::max(median_sigma(fc), 1e-3f);
+    scores[static_cast<std::size_t>(ic)] = hsic(gram_gaussian(fc, sigma), ky);
+  }
+  return scores;
+}
+
+Tensor mask_from_scores(const std::vector<float>& scores, float drop_fraction) {
+  const auto c = static_cast<std::int64_t>(scores.size());
+  Tensor mask({c}, 1.0f);
+  if (drop_fraction <= 0.0f || c <= 1) return mask;
+
+  auto drop = static_cast<std::int64_t>(
+      std::llround(drop_fraction * static_cast<double>(c)));
+  drop = std::max<std::int64_t>(drop, 1);
+  drop = std::min(drop, c - 1);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < c; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return scores[static_cast<std::size_t>(a)] < scores[static_cast<std::size_t>(b)];
+  });
+  for (std::int64_t i = 0; i < drop; ++i) {
+    mask[order[static_cast<std::size_t>(i)]] = 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace ibrar::mi

@@ -1,0 +1,24 @@
+#pragma once
+// Per-channel dependence scores I(f_c, Y) for the Eq. (3) feature mask:
+// each channel of the last conv output is scored by HSIC against the one-hot
+// labels; the lowest-scoring fraction is masked out.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ibrar::mi {
+
+/// HSIC(f_c, Y) per channel. `features` is (N, C, H, W) (or (N, C) for
+/// fully-connected features); labels are integers in [0, num_classes).
+std::vector<float> channel_label_scores(const Tensor& features,
+                                        const std::vector<std::int64_t>& labels,
+                                        std::int64_t num_classes);
+
+/// Binary mask (C) keeping channels whose score is >= the drop_fraction
+/// quantile. At least one channel is always dropped when drop_fraction > 0
+/// (paper: "a small threshold to eliminate 5% of all feature channels"), and
+/// at least one channel is always kept.
+Tensor mask_from_scores(const std::vector<float>& scores, float drop_fraction);
+
+}  // namespace ibrar::mi

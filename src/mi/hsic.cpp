@@ -1,0 +1,91 @@
+#include "mi/hsic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace ibrar::mi {
+namespace {
+
+/// Center a Gram matrix: H K H with H = I - 11^T/m.
+Tensor center(const Tensor& k) {
+  const auto m = k.dim(0);
+  // Row means, column means, grand mean: HKH = K - rowmean - colmean + grand.
+  Tensor out(k.shape());
+  std::vector<double> row_mean(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> col_mean(static_cast<std::size_t>(m), 0.0);
+  double grand = 0.0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      const double v = k.at(i, j);
+      row_mean[static_cast<std::size_t>(i)] += v;
+      col_mean[static_cast<std::size_t>(j)] += v;
+      grand += v;
+    }
+  }
+  for (auto& v : row_mean) v /= m;
+  for (auto& v : col_mean) v /= m;
+  grand /= double(m) * m;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      out.at(i, j) = static_cast<float>(k.at(i, j) -
+                                        row_mean[static_cast<std::size_t>(i)] -
+                                        col_mean[static_cast<std::size_t>(j)] +
+                                        grand);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+float hsic(const Tensor& kx, const Tensor& ky) {
+  if (kx.rank() != 2 || kx.dim(0) != kx.dim(1) || !(kx.shape() == ky.shape())) {
+    throw std::invalid_argument("hsic: Gram matrices must be square and equal");
+  }
+  const auto m = kx.dim(0);
+  if (m < 2) return 0.0f;
+  const Tensor ck = center(kx);
+  // tr(HKxH Ky) = sum_ij (HKxH)_ij (Ky)_ji; both symmetric -> elementwise dot.
+  const float tr = dot(ck, ky);
+  const float denom = static_cast<float>((m - 1)) * static_cast<float>(m - 1);
+  return tr / denom;
+}
+
+ag::Var hsic(const ag::Var& kx, const ag::Var& ky) {
+  const auto m = kx.shape()[0];
+  if (m < 2) return ag::Var::constant(Tensor::scalar(0.0f));
+  // H as an explicit constant matrix: small m (a minibatch) keeps this cheap.
+  Tensor h = Tensor::eye(m);
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (auto& v : h.vec()) v -= 0.0f;  // identity built; subtract 1/m below
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) h.at(i, j) -= inv_m;
+  }
+  ag::Var hv = ag::Var::constant(h);
+  ag::Var centered = ag::matmul(ag::matmul(hv, kx), hv);
+  ag::Var tr = ag::sum(ag::mul(centered, ky));
+  const float denom = static_cast<float>((m - 1)) * static_cast<float>(m - 1);
+  return ag::mul_scalar(tr, 1.0f / denom);
+}
+
+float hsic_gaussian(const Tensor& x, const Tensor& y, float sigma_x,
+                    float sigma_y) {
+  const float sx = sigma_x > 0 ? sigma_x : scaled_sigma(x.dim(1));
+  const float sy = sigma_y > 0 ? sigma_y : scaled_sigma(y.dim(1));
+  return hsic(gram_gaussian(x, sx), gram_gaussian(y, sy));
+}
+
+float cka(const Tensor& x, const Tensor& y) {
+  const Tensor kx = gram_gaussian(x, scaled_sigma(x.dim(1)));
+  const Tensor ky = gram_gaussian(y, scaled_sigma(y.dim(1)));
+  const float hxy = hsic(kx, ky);
+  const float hxx = hsic(kx, kx);
+  const float hyy = hsic(ky, ky);
+  const float denom = std::sqrt(std::max(hxx * hyy, 1e-20f));
+  return hxy / denom;
+}
+
+}  // namespace ibrar::mi

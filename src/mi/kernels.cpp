@@ -1,0 +1,52 @@
+#include "mi/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/reduce.hpp"
+
+namespace ibrar::mi {
+
+float median_sigma(const Tensor& x) {
+  const Tensor d = pairwise_sq_dists(x);
+  std::vector<float> vals;
+  const auto m = d.dim(0);
+  vals.reserve(static_cast<std::size_t>(m * (m - 1) / 2));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = i + 1; j < m; ++j) vals.push_back(d.at(i, j));
+  }
+  if (vals.empty()) return 1.0f;
+  std::nth_element(vals.begin(), vals.begin() + vals.size() / 2, vals.end());
+  const float med = vals[vals.size() / 2];
+  return std::sqrt(std::max(med / 2.0f, 1e-6f));
+}
+
+float scaled_sigma(std::int64_t feature_dim, float mult) {
+  return mult * std::sqrt(static_cast<float>(std::max<std::int64_t>(feature_dim, 1)));
+}
+
+Tensor gram_gaussian(const Tensor& x, float sigma) {
+  const Tensor d = pairwise_sq_dists(x);
+  const float scale = -1.0f / (2.0f * sigma * sigma);
+  Tensor k(d.shape());
+  const auto pd = d.data();
+  auto pk = k.data();
+  for (std::size_t i = 0; i < pd.size(); ++i) pk[i] = std::exp(pd[i] * scale);
+  return k;
+}
+
+ag::Var gram_gaussian(const ag::Var& x, float sigma) {
+  // ||xi - xj||^2 = r_i + r_j - 2 x_i . x_j, assembled from differentiable ops
+  // so the HSIC regularizer backpropagates into the activations.
+  ag::Var rs = ag::sum_axis(ag::square(x), 1, /*keepdim=*/true);      // (m,1)
+  ag::Var gram = ag::matmul(x, ag::transpose(x));                     // (m,m)
+  ag::Var d = ag::sub(ag::add(rs, ag::transpose(rs)),
+                      ag::mul_scalar(gram, 2.0f));
+  return ag::exp(ag::mul_scalar(d, -1.0f / (2.0f * sigma * sigma)));
+}
+
+ag::Var gram_linear(const ag::Var& x) {
+  return ag::matmul(x, ag::transpose(x));
+}
+
+}  // namespace ibrar::mi

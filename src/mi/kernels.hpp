@@ -1,0 +1,25 @@
+#pragma once
+// Gaussian kernel Gram matrices — plain (Tensor) and differentiable (Var).
+
+#include "autograd/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ibrar::mi {
+
+/// Median heuristic bandwidth: sigma^2 = median(pairwise sq dists) / 2,
+/// floored away from zero. Rows of `x` are samples.
+float median_sigma(const Tensor& x);
+
+/// Bandwidth used by the HSIC-bottleneck line of work: sigma = mult*sqrt(d).
+float scaled_sigma(std::int64_t feature_dim, float mult = 5.0f);
+
+/// K_ij = exp(-||x_i - x_j||^2 / (2 sigma^2)), x is (m, d).
+Tensor gram_gaussian(const Tensor& x, float sigma);
+
+/// Differentiable version (gradient flows into x; sigma is a constant).
+ag::Var gram_gaussian(const ag::Var& x, float sigma);
+
+/// Linear kernel K = X X^T (differentiable); used for one-hot labels.
+ag::Var gram_linear(const ag::Var& x);
+
+}  // namespace ibrar::mi

@@ -1,0 +1,74 @@
+#include "mi/objective.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace ibrar::mi {
+namespace {
+
+std::vector<std::size_t> resolve_layers(const IBObjectiveConfig& cfg,
+                                        std::size_t num_taps) {
+  if (cfg.layer_indices.empty()) {
+    std::vector<std::size_t> all(num_taps);
+    for (std::size_t i = 0; i < num_taps; ++i) all[i] = i;
+    return all;
+  }
+  for (const auto i : cfg.layer_indices) {
+    if (i >= num_taps) throw std::out_of_range("ib_objective: layer index");
+  }
+  return cfg.layer_indices;
+}
+
+}  // namespace
+
+ag::Var ib_objective(const ag::Var& x, const std::vector<ag::Var>& taps,
+                     const std::vector<std::int64_t>& labels,
+                     std::int64_t num_classes, const IBObjectiveConfig& cfg) {
+  const auto layers = resolve_layers(cfg, taps.size());
+
+  const ag::Var x2 = ag::flatten2d(x);
+  const ag::Var kx = gram_gaussian(x2, scaled_sigma(x2.shape()[1], cfg.sigma_mult));
+
+  const Tensor y = one_hot(labels, num_classes);
+  const ag::Var ky = ag::Var::constant(
+      gram_gaussian(y, scaled_sigma(num_classes, cfg.sigma_mult_y)));
+
+  ag::Var total = ag::Var::constant(Tensor::scalar(0.0f));
+  for (const auto li : layers) {
+    const ag::Var t2 = ag::flatten2d(taps[li]);
+    const ag::Var kt =
+        gram_gaussian(t2, scaled_sigma(t2.shape()[1], cfg.sigma_mult));
+    if (cfg.alpha != 0.0f) {
+      total = ag::add(total, ag::mul_scalar(hsic(kx, kt), cfg.alpha));
+    }
+    if (cfg.beta != 0.0f) {
+      total = ag::sub(total, ag::mul_scalar(hsic(ky, kt), cfg.beta));
+    }
+  }
+  return total;
+}
+
+std::pair<float, float> ib_objective_terms(const Tensor& x,
+                                           const std::vector<Tensor>& taps,
+                                           const std::vector<std::int64_t>& labels,
+                                           std::int64_t num_classes,
+                                           const IBObjectiveConfig& cfg) {
+  const auto layers = resolve_layers(cfg, taps.size());
+  const Tensor x2 = x.reshape({x.dim(0), x.numel() / x.dim(0)});
+  const Tensor kx = gram_gaussian(x2, scaled_sigma(x2.dim(1), cfg.sigma_mult));
+  const Tensor y = one_hot(labels, num_classes);
+  const Tensor ky = gram_gaussian(y, scaled_sigma(num_classes, cfg.sigma_mult_y));
+
+  float sx = 0.0f, sy = 0.0f;
+  for (const auto li : layers) {
+    const Tensor t2 = taps[li].reshape({taps[li].dim(0),
+                                        taps[li].numel() / taps[li].dim(0)});
+    const Tensor kt = gram_gaussian(t2, scaled_sigma(t2.dim(1), cfg.sigma_mult));
+    sx += hsic(kx, kt);
+    sy += hsic(ky, kt);
+  }
+  return {sx, sy};
+}
+
+}  // namespace ibrar::mi

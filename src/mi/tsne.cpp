@@ -1,0 +1,179 @@
+#include "mi/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/random.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::mi {
+namespace {
+
+/// Row conditional probabilities p_{j|i} at the sigma achieving `perplexity`
+/// (binary search on precision beta = 1/(2 sigma^2)).
+void row_affinities(const Tensor& d2, std::int64_t i, double perplexity,
+                    std::vector<double>& p_row) {
+  const auto n = d2.dim(0);
+  const double target = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum_p = 0.0, sum_dp = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j == i) {
+        p_row[static_cast<std::size_t>(j)] = 0.0;
+        continue;
+      }
+      const double pj = std::exp(-beta * d2.at(i, j));
+      p_row[static_cast<std::size_t>(j)] = pj;
+      sum_p += pj;
+      sum_dp += pj * d2.at(i, j);
+    }
+    if (sum_p <= 0) {
+      beta /= 2;
+      continue;
+    }
+    const double h = std::log(sum_p) + beta * sum_dp / sum_p;  // entropy
+    if (std::fabs(h - target) < 1e-5) break;
+    if (h > target) {
+      beta_lo = beta;
+      beta = beta_hi > 1e11 ? beta * 2 : (beta + beta_hi) / 2;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2;
+    }
+  }
+  double sum_p = 0.0;
+  for (std::int64_t j = 0; j < n; ++j) sum_p += p_row[static_cast<std::size_t>(j)];
+  if (sum_p > 0) {
+    for (auto& v : p_row) v /= sum_p;
+  }
+}
+
+}  // namespace
+
+Tensor tsne(const Tensor& x, const TSNEConfig& cfg) {
+  if (x.rank() != 2) throw std::invalid_argument("tsne: x must be 2-D");
+  const auto n = x.dim(0);
+  if (n < 5) throw std::invalid_argument("tsne: need at least 5 points");
+
+  const Tensor d2 = pairwise_sq_dists(x);
+
+  // Symmetrized joint affinities P.
+  std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
+  {
+    std::vector<double> row(static_cast<std::size_t>(n));
+    const double perp = std::min(cfg.perplexity, static_cast<double>(n - 1) / 3.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      row_affinities(d2, i, perp, row);
+      for (std::int64_t j = 0; j < n; ++j) {
+        p[static_cast<std::size_t>(i * n + j)] = row[static_cast<std::size_t>(j)];
+      }
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double s = (p[static_cast<std::size_t>(i * n + j)] +
+                          p[static_cast<std::size_t>(j * n + i)]) /
+                         (2.0 * n);
+        p[static_cast<std::size_t>(i * n + j)] = std::max(s, 1e-12);
+        p[static_cast<std::size_t>(j * n + i)] = std::max(s, 1e-12);
+      }
+      p[static_cast<std::size_t>(i * n + i)] = 1e-12;
+    }
+  }
+
+  Rng rng(cfg.seed);
+  Tensor y = randn({n, 2}, rng, 0.0f, 1e-2f);
+  Tensor vel({n, 2});
+
+  std::vector<double> q(static_cast<std::size_t>(n * n));
+  for (std::int64_t iter = 0; iter < cfg.iterations; ++iter) {
+    const double exag = iter < cfg.exaggeration_iters ? cfg.early_exaggeration : 1.0;
+
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (i == j) {
+          q[static_cast<std::size_t>(i * n + j)] = 0.0;
+          continue;
+        }
+        const double dy0 = y.at(i, 0) - y.at(j, 0);
+        const double dy1 = y.at(i, 1) - y.at(j, 1);
+        const double t = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<std::size_t>(i * n + j)] = t;
+        q_sum += t;
+      }
+    }
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double t = q[static_cast<std::size_t>(i * n + j)];
+        const double qij = std::max(t / q_sum, 1e-12);
+        const double coeff =
+            4.0 * (exag * p[static_cast<std::size_t>(i * n + j)] - qij) * t;
+        g0 += coeff * (y.at(i, 0) - y.at(j, 0));
+        g1 += coeff * (y.at(i, 1) - y.at(j, 1));
+      }
+      vel.at(i, 0) = static_cast<float>(cfg.momentum * vel.at(i, 0) -
+                                        cfg.learning_rate * g0);
+      vel.at(i, 1) = static_cast<float>(cfg.momentum * vel.at(i, 1) -
+                                        cfg.learning_rate * g1);
+      // Clamp per-step displacement: with early exaggeration the gradient can
+      // momentarily explode and a single unbounded step destroys the layout.
+      const float step_cap = 25.0f;
+      vel.at(i, 0) = std::min(std::max(vel.at(i, 0), -step_cap), step_cap);
+      vel.at(i, 1) = std::min(std::max(vel.at(i, 1), -step_cap), step_cap);
+      y.at(i, 0) += vel.at(i, 0);
+      y.at(i, 1) += vel.at(i, 1);
+    }
+  }
+  return y;
+}
+
+ClusterMetrics cluster_metrics(const Tensor& points,
+                               const std::vector<std::int64_t>& labels) {
+  if (points.rank() != 2) throw std::invalid_argument("cluster_metrics: 2-D");
+  const auto n = points.dim(0);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("cluster_metrics: label count");
+  }
+  const Tensor d2 = pairwise_sq_dists(points);
+
+  ClusterMetrics m;
+  double intra_sum = 0.0, inter_sum = 0.0, sil_sum = 0.0;
+  std::int64_t intra_n = 0, inter_n = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double a_sum = 0.0, b_sum = 0.0;
+    std::int64_t a_n = 0, b_n = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = std::sqrt(std::max(0.0f, d2.at(i, j)));
+      if (labels[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(j)]) {
+        a_sum += d;
+        ++a_n;
+      } else {
+        b_sum += d;
+        ++b_n;
+      }
+    }
+    intra_sum += a_sum;
+    intra_n += a_n;
+    inter_sum += b_sum;
+    inter_n += b_n;
+    if (a_n > 0 && b_n > 0) {
+      const double a = a_sum / a_n;
+      const double b = b_sum / b_n;
+      sil_sum += (b - a) / std::max(a, b);
+    }
+  }
+  m.mean_intra = intra_n > 0 ? intra_sum / intra_n : 0.0;
+  m.mean_inter = inter_n > 0 ? inter_sum / inter_n : 0.0;
+  m.separation_ratio = m.mean_intra > 1e-12 ? m.mean_inter / m.mean_intra : 0.0;
+  m.silhouette = sil_sum / static_cast<double>(n);
+  return m;
+}
+
+}  // namespace ibrar::mi

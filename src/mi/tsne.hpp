@@ -1,0 +1,37 @@
+#pragma once
+// Exact O(n^2) t-SNE (van der Maaten & Hinton 2008) plus the cluster
+// separation metrics the Fig. 3 reproduction reports. Small n (a few hundred
+// feature vectors) keeps the quadratic cost trivial.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar::mi {
+
+struct TSNEConfig {
+  double perplexity = 20.0;
+  std::int64_t iterations = 250;
+  double learning_rate = 50.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;
+  std::int64_t exaggeration_iters = 50;
+  std::uint64_t seed = 3;
+};
+
+/// Embed rows of `x` (n, d) into (n, 2).
+Tensor tsne(const Tensor& x, const TSNEConfig& cfg = {});
+
+struct ClusterMetrics {
+  double mean_intra = 0.0;       ///< mean distance to same-class points
+  double mean_inter = 0.0;       ///< mean distance to other-class points
+  double separation_ratio = 0.0; ///< inter / intra (higher = better separated)
+  double silhouette = 0.0;       ///< mean silhouette coefficient in [-1, 1]
+};
+
+/// Separation statistics of an embedding (or raw features) under labels.
+ClusterMetrics cluster_metrics(const Tensor& points,
+                               const std::vector<std::int64_t>& labels);
+
+}  // namespace ibrar::mi

@@ -1,0 +1,36 @@
+#include "models/mlp.hpp"
+
+namespace ibrar::models {
+
+MLP::MLP(const MLPConfig& cfg, Rng& rng) : cfg_(cfg) {
+  std::int64_t in = cfg_.in_features;
+  for (std::size_t i = 0; i < cfg_.hidden.size(); ++i) {
+    auto fc = std::make_shared<nn::Linear>(in, cfg_.hidden[i], rng);
+    register_module("fc" + std::to_string(i + 1), fc);
+    layers_.push_back(std::move(fc));
+    tap_names_.push_back("fc" + std::to_string(i + 1));
+    in = cfg_.hidden[i];
+  }
+  head_ = std::make_shared<nn::Linear>(in, cfg_.num_classes, rng);
+  register_module("head", head_);
+}
+
+TapsOutput MLP::forward_with_taps(const ag::Var& x) {
+  TapsOutput out;
+  // Accept image tensors too: flatten anything beyond rank 2.
+  ag::Var h = x.shape().size() > 2 ? ag::flatten2d(x) : x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = ag::relu(layers_[i]->forward(h));
+    if (i + 1 == layers_.size()) {
+      if (mask_.numel() > 0 && mask_.rank() == 1) {
+        h = ag::mul(h, ag::Var::constant(mask_.reshape({1, mask_.numel()})));
+      }
+      h = maybe_noise(h);
+    }
+    out.taps.push_back(h);
+  }
+  out.logits = head_->forward(h);
+  return out;
+}
+
+}  // namespace ibrar::models

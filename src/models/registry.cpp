@@ -1,0 +1,51 @@
+#include "models/registry.hpp"
+
+#include <stdexcept>
+
+#include "models/mlp.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
+#include "models/wideresnet.hpp"
+
+namespace ibrar::models {
+
+TapClassifierPtr make_model(const ModelSpec& spec, Rng& rng) {
+  if (spec.name == "vgg16") {
+    VGGConfig cfg;
+    cfg.num_classes = spec.num_classes;
+    cfg.image_size = spec.image_size;
+    cfg.in_channels = spec.in_channels;
+    return std::make_shared<MiniVGG>(cfg, rng);
+  }
+  if (spec.name == "resnet18") {
+    ResNetConfig cfg;
+    cfg.num_classes = spec.num_classes;
+    cfg.image_size = spec.image_size;
+    cfg.in_channels = spec.in_channels;
+    return std::make_shared<MiniResNet>(cfg, rng);
+  }
+  if (spec.name == "wrn28") {
+    WRNConfig cfg;
+    cfg.num_classes = spec.num_classes;
+    cfg.image_size = spec.image_size;
+    cfg.in_channels = spec.in_channels;
+    return std::make_shared<MiniWRN>(cfg, rng);
+  }
+  if (spec.name == "mlp") {
+    MLPConfig cfg;
+    cfg.in_features = spec.in_channels * spec.image_size * spec.image_size;
+    cfg.num_classes = spec.num_classes;
+    return std::make_shared<MLP>(cfg, rng);
+  }
+  throw std::invalid_argument("make_model: unknown model " + spec.name);
+}
+
+std::vector<std::string> default_robust_layers(const std::string& model_name) {
+  if (model_name == "vgg16") return {"conv_block5", "fc1", "fc2"};
+  if (model_name == "resnet18") return {"stage4", "gap"};
+  if (model_name == "wrn28") return {"group3", "gap"};
+  if (model_name == "mlp") return {"fc2"};
+  throw std::invalid_argument("default_robust_layers: unknown model " + model_name);
+}
+
+}  // namespace ibrar::models

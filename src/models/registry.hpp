@@ -1,0 +1,27 @@
+#pragma once
+// Name-based model factory used by benches and examples
+// ("vgg16" / "resnet18" / "wrn28" / "mlp" — the paper's architectures mapped
+// onto their Mini counterparts).
+
+#include <memory>
+#include <string>
+
+#include "models/classifier.hpp"
+
+namespace ibrar::models {
+
+struct ModelSpec {
+  std::string name = "vgg16";
+  std::int64_t num_classes = 10;
+  std::int64_t image_size = 16;
+  std::int64_t in_channels = 3;
+};
+
+/// Construct a model by name; throws std::invalid_argument for unknown names.
+TapClassifierPtr make_model(const ModelSpec& spec, Rng& rng);
+
+/// The default "robust layers" for a model, as found by the paper's Table 3
+/// procedure (VGG: conv block 5 + fc1 + fc2; ResNet/WRN: last stage + gap).
+std::vector<std::string> default_robust_layers(const std::string& model_name);
+
+}  // namespace ibrar::models

@@ -1,0 +1,82 @@
+#include "models/resnet.hpp"
+
+#include <stdexcept>
+
+namespace ibrar::models {
+
+BasicBlock::BasicBlock(std::int64_t in_c, std::int64_t out_c, std::int64_t stride,
+                       Rng& rng) {
+  conv1_ = std::make_shared<nn::Conv2d>(in_c, out_c, rng,
+                                        Conv2dSpec{3, stride, 1}, false);
+  bn1_ = std::make_shared<nn::BatchNorm2d>(out_c);
+  conv2_ = std::make_shared<nn::Conv2d>(out_c, out_c, rng, Conv2dSpec{3, 1, 1},
+                                        false);
+  bn2_ = std::make_shared<nn::BatchNorm2d>(out_c);
+  register_module("conv1", conv1_);
+  register_module("bn1", bn1_);
+  register_module("conv2", conv2_);
+  register_module("bn2", bn2_);
+  if (stride != 1 || in_c != out_c) {
+    proj_ = std::make_shared<nn::Conv2d>(in_c, out_c, rng,
+                                         Conv2dSpec{1, stride, 0}, false);
+    proj_bn_ = std::make_shared<nn::BatchNorm2d>(out_c);
+    register_module("proj", proj_);
+    register_module("proj_bn", proj_bn_);
+  }
+}
+
+ag::Var BasicBlock::forward(const ag::Var& x) {
+  ag::Var h = ag::relu(bn1_->forward(conv1_->forward(x)));
+  h = bn2_->forward(conv2_->forward(h));
+  ag::Var skip = proj_ ? proj_bn_->forward(proj_->forward(x)) : x;
+  return ag::relu(ag::add(h, skip));
+}
+
+MiniResNet::MiniResNet(const ResNetConfig& cfg, Rng& rng) : cfg_(cfg) {
+  if (cfg_.channels.size() != 4) {
+    throw std::invalid_argument("MiniResNet: exactly 4 stages");
+  }
+  stem_ = std::make_shared<nn::Conv2d>(cfg_.in_channels, cfg_.channels[0], rng,
+                                       Conv2dSpec{3, 1, 1}, false);
+  stem_bn_ = std::make_shared<nn::BatchNorm2d>(cfg_.channels[0]);
+  register_module("stem", stem_);
+  register_module("stem_bn", stem_bn_);
+
+  std::int64_t in_c = cfg_.channels[0];
+  for (std::size_t s = 0; s < 4; ++s) {
+    auto stage = std::make_shared<nn::Sequential>();
+    const std::int64_t out_c = cfg_.channels[s];
+    // Downsample at stages 2-4 (16 -> 8 -> 4 -> 2), as ResNet-18 does from
+    // its second stage onward.
+    const std::int64_t stride0 = s == 0 ? 1 : 2;
+    for (std::int64_t b = 0; b < cfg_.blocks_per_stage; ++b) {
+      stage->push_back(std::make_shared<BasicBlock>(b == 0 ? in_c : out_c,
+                                                    out_c, b == 0 ? stride0 : 1,
+                                                    rng));
+    }
+    register_module("stage" + std::to_string(s + 1), stage);
+    stages_.push_back(std::move(stage));
+    in_c = out_c;
+  }
+
+  head_ = std::make_shared<nn::Linear>(cfg_.channels.back(), cfg_.num_classes, rng);
+  register_module("head", head_);
+  tap_names_ = {"stage1", "stage2", "stage3", "stage4", "gap"};
+}
+
+TapsOutput MiniResNet::forward_with_taps(const ag::Var& x) {
+  TapsOutput out;
+  ag::Var h = ag::relu(stem_bn_->forward(stem_->forward(x)));
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    h = stages_[s]->forward(h);
+    if (s == 3) h = apply_channel_mask(h);
+    out.taps.push_back(h);
+  }
+  h = ag::global_avg_pool(h);
+  h = maybe_noise(h);
+  out.taps.push_back(h);  // gap features
+  out.logits = head_->forward(h);
+  return out;
+}
+
+}  // namespace ibrar::models

@@ -1,0 +1,92 @@
+#include "models/vgg.hpp"
+
+#include <stdexcept>
+
+namespace ibrar::models {
+
+void TapClassifier::set_channel_mask(Tensor mask) {
+  if (mask.rank() != 1 || mask.numel() != last_conv_channels()) {
+    throw std::invalid_argument("set_channel_mask: mask must be (C) with C = " +
+                                std::to_string(last_conv_channels()));
+  }
+  mask_ = std::move(mask);
+}
+
+ag::Var TapClassifier::apply_channel_mask(const ag::Var& feat) const {
+  if (mask_.numel() == 0 || mask_.rank() == 0) return feat;
+  const auto c = mask_.numel();
+  return ag::mul(feat, ag::Var::constant(mask_.reshape({1, c, 1, 1})));
+}
+
+ag::Var TapClassifier::maybe_noise(const ag::Var& h) {
+  if (noise_std_ <= 0.0f || !training()) return h;
+  Tensor noise(h.shape());
+  for (auto& v : noise.vec()) v = noise_rng_.normal(0.0f, noise_std_);
+  return ag::add(h, ag::Var::constant(noise));
+}
+
+MiniVGG::MiniVGG(const VGGConfig& cfg, Rng& rng) : cfg_(cfg) {
+  if (cfg_.channels.size() != 5) {
+    throw std::invalid_argument("MiniVGG: exactly 5 conv blocks");
+  }
+  std::int64_t in_c = cfg_.in_channels;
+  std::int64_t spatial = cfg_.image_size;
+  for (std::size_t b = 0; b < 5; ++b) {
+    auto block = std::make_shared<nn::Sequential>();
+    const std::int64_t out_c = cfg_.channels[b];
+    for (std::int64_t k = 0; k < cfg_.convs_per_block; ++k) {
+      block->push_back(std::make_shared<nn::Conv2d>(k == 0 ? in_c : out_c,
+                                                    out_c, rng));
+      if (cfg_.batch_norm) {
+        block->push_back(std::make_shared<nn::BatchNorm2d>(out_c));
+      }
+      block->push_back(std::make_shared<nn::ReLU>());
+    }
+    // Pool while spatial size allows it (blocks 1-3 at 16x16 input); VGG16
+    // pools after every block at 32x32, which this mirrors proportionally.
+    if (b < 3 && spatial >= 4) {
+      block->push_back(std::make_shared<nn::MaxPool2d>(2));
+      spatial /= 2;
+    }
+    register_module("block" + std::to_string(b + 1), block);
+    blocks_.push_back(std::move(block));
+    in_c = out_c;
+  }
+
+  const std::int64_t flat = cfg_.channels.back() * spatial * spatial;
+  fc1_ = std::make_shared<nn::Linear>(flat, cfg_.fc_dim, rng);
+  fc2_ = std::make_shared<nn::Linear>(cfg_.fc_dim, cfg_.fc_dim, rng);
+  head_ = std::make_shared<nn::Linear>(cfg_.fc_dim, cfg_.num_classes, rng);
+  drop1_ = std::make_shared<nn::Dropout>(cfg_.dropout, rng.engine()());
+  drop2_ = std::make_shared<nn::Dropout>(cfg_.dropout, rng.engine()());
+  register_module("fc1", fc1_);
+  register_module("fc2", fc2_);
+  register_module("head", head_);
+  register_module("drop1", drop1_);
+  register_module("drop2", drop2_);
+
+  tap_names_ = {"conv_block1", "conv_block2", "conv_block3",
+                "conv_block4", "conv_block5", "fc1", "fc2"};
+}
+
+TapsOutput MiniVGG::forward_with_taps(const ag::Var& x) {
+  TapsOutput out;
+  ag::Var h = x;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    h = blocks_[b]->forward(h);
+    if (b == 4) h = apply_channel_mask(h);  // Eq. (3): mask last conv output
+    out.taps.push_back(h);
+  }
+  h = ag::flatten2d(h);
+  h = ag::relu(fc1_->forward(h));
+  h = drop1_->forward(h);
+  out.taps.push_back(h);  // fc1
+  h = ag::relu(fc2_->forward(h));
+  h = drop2_->forward(h);
+  h = maybe_noise(h);
+  out.taps.push_back(h);  // fc2
+  out.logits = head_->forward(h);
+  return out;
+}
+
+}  // namespace ibrar::models

@@ -1,0 +1,80 @@
+#include "models/wideresnet.hpp"
+
+namespace ibrar::models {
+
+PreActBlock::PreActBlock(std::int64_t in_c, std::int64_t out_c,
+                         std::int64_t stride, Rng& rng) {
+  bn1_ = std::make_shared<nn::BatchNorm2d>(in_c);
+  conv1_ = std::make_shared<nn::Conv2d>(in_c, out_c, rng,
+                                        Conv2dSpec{3, stride, 1}, false);
+  bn2_ = std::make_shared<nn::BatchNorm2d>(out_c);
+  conv2_ = std::make_shared<nn::Conv2d>(out_c, out_c, rng, Conv2dSpec{3, 1, 1},
+                                        false);
+  register_module("bn1", bn1_);
+  register_module("conv1", conv1_);
+  register_module("bn2", bn2_);
+  register_module("conv2", conv2_);
+  if (stride != 1 || in_c != out_c) {
+    proj_ = std::make_shared<nn::Conv2d>(in_c, out_c, rng,
+                                         Conv2dSpec{1, stride, 0}, false);
+    register_module("proj", proj_);
+  }
+}
+
+ag::Var PreActBlock::forward(const ag::Var& x) {
+  ag::Var pre = ag::relu(bn1_->forward(x));
+  ag::Var h = conv1_->forward(pre);
+  h = conv2_->forward(ag::relu(bn2_->forward(h)));
+  // WRN applies the projection to the pre-activated input.
+  ag::Var skip = proj_ ? proj_->forward(pre) : x;
+  return ag::add(h, skip);
+}
+
+MiniWRN::MiniWRN(const WRNConfig& cfg, Rng& rng) : cfg_(cfg) {
+  widths_ = {cfg_.base_width * cfg_.widen, cfg_.base_width * cfg_.widen * 2,
+             cfg_.base_width * cfg_.widen * 4};
+  stem_ = std::make_shared<nn::Conv2d>(cfg_.in_channels, cfg_.base_width, rng,
+                                       Conv2dSpec{3, 1, 1}, false);
+  register_module("stem", stem_);
+
+  std::int64_t in_c = cfg_.base_width;
+  for (std::size_t g = 0; g < 3; ++g) {
+    auto group = std::make_shared<nn::Sequential>();
+    const std::int64_t out_c = widths_[g];
+    const std::int64_t stride0 = g == 0 ? 1 : 2;  // 16 -> 16 -> 8 -> 4
+    for (std::int64_t b = 0; b < cfg_.blocks_per_group; ++b) {
+      group->push_back(std::make_shared<PreActBlock>(b == 0 ? in_c : out_c,
+                                                     out_c,
+                                                     b == 0 ? stride0 : 1, rng));
+    }
+    register_module("group" + std::to_string(g + 1), group);
+    groups_.push_back(std::move(group));
+    in_c = out_c;
+  }
+
+  final_bn_ = std::make_shared<nn::BatchNorm2d>(widths_.back());
+  head_ = std::make_shared<nn::Linear>(widths_.back(), cfg_.num_classes, rng);
+  register_module("final_bn", final_bn_);
+  register_module("head", head_);
+  tap_names_ = {"group1", "group2", "group3", "gap"};
+}
+
+TapsOutput MiniWRN::forward_with_taps(const ag::Var& x) {
+  TapsOutput out;
+  ag::Var h = stem_->forward(x);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    h = groups_[g]->forward(h);
+    if (g == 2) {
+      h = ag::relu(final_bn_->forward(h));
+      h = apply_channel_mask(h);
+    }
+    out.taps.push_back(h);
+  }
+  h = ag::global_avg_pool(h);
+  h = maybe_noise(h);
+  out.taps.push_back(h);
+  out.logits = head_->forward(h);
+  return out;
+}
+
+}  // namespace ibrar::models

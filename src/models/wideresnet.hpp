@@ -1,0 +1,52 @@
+#pragma once
+// MiniWRN: width-reduced WideResNet-28-10 topology — pre-activation residual
+// blocks in three groups with a widening factor, BN-ReLU before the head.
+
+#include "models/classifier.hpp"
+
+namespace ibrar::models {
+
+struct WRNConfig {
+  std::int64_t base_width = 8;      ///< group widths = base * widen * {1,2,4}
+  std::int64_t widen = 2;
+  std::int64_t blocks_per_group = 1;
+  std::int64_t num_classes = 10;
+  std::int64_t image_size = 16;
+  std::int64_t in_channels = 3;
+};
+
+/// Pre-activation residual block: BN-ReLU-conv-BN-ReLU-conv (+skip).
+class PreActBlock : public nn::Module {
+ public:
+  PreActBlock(std::int64_t in_c, std::int64_t out_c, std::int64_t stride, Rng& rng);
+  ag::Var forward(const ag::Var& x) override;
+
+ private:
+  std::shared_ptr<nn::BatchNorm2d> bn1_;
+  std::shared_ptr<nn::Conv2d> conv1_;
+  std::shared_ptr<nn::BatchNorm2d> bn2_;
+  std::shared_ptr<nn::Conv2d> conv2_;
+  std::shared_ptr<nn::Conv2d> proj_;
+};
+
+class MiniWRN : public TapClassifier {
+ public:
+  MiniWRN(const WRNConfig& cfg, Rng& rng);
+
+  TapsOutput forward_with_taps(const ag::Var& x) override;
+  const std::vector<std::string>& tap_names() const override { return tap_names_; }
+  std::int64_t last_conv_channels() const override { return widths_.back(); }
+  std::int64_t num_classes() const override { return cfg_.num_classes; }
+  std::size_t last_conv_tap_index() const override { return 2; }
+
+ private:
+  WRNConfig cfg_;
+  std::vector<std::int64_t> widths_;
+  std::shared_ptr<nn::Conv2d> stem_;
+  std::vector<std::shared_ptr<nn::Sequential>> groups_;
+  std::shared_ptr<nn::BatchNorm2d> final_bn_;
+  std::shared_ptr<nn::Linear> head_;
+  std::vector<std::string> tap_names_;
+};
+
+}  // namespace ibrar::models

@@ -1,0 +1,11 @@
+#include "nn/layers.hpp"
+
+namespace ibrar::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+ag::Var Dropout::forward(const ag::Var& x) {
+  return ag::dropout(x, p_, training(), rng_);
+}
+
+}  // namespace ibrar::nn

@@ -1,0 +1,21 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace ibrar::nn {
+
+void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (auto& x : w.vec()) x = rng.normal(0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (auto& x : w.vec()) x = rng.uniform(-a, a);
+}
+
+void uniform_init(Tensor& w, float bound, Rng& rng) {
+  for (auto& x : w.vec()) x = rng.uniform(-bound, bound);
+}
+
+}  // namespace ibrar::nn

@@ -1,0 +1,29 @@
+#include <cmath>
+
+#include "nn/init.hpp"
+#include "nn/layers.hpp"
+
+namespace ibrar::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  Tensor w({in_, out_});
+  kaiming_normal(w, in_, rng);
+  weight_ = ag::Var::param(std::move(w));
+  register_parameter("weight", weight_);
+  if (bias) {
+    Tensor b({out_});
+    uniform_init(b, 1.0f / std::sqrt(static_cast<float>(in_)), rng);
+    bias_ = ag::Var::param(std::move(b));
+    register_parameter("bias", bias_);
+  }
+}
+
+ag::Var Linear::forward(const ag::Var& x) {
+  ag::Var y = ag::matmul(x, weight_);
+  if (bias_.defined()) y = ag::add(y, bias_);
+  return y;
+}
+
+}  // namespace ibrar::nn

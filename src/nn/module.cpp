@@ -1,0 +1,126 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/serialize.hpp"
+
+namespace ibrar::nn {
+
+std::vector<ag::Var> Module::parameters() {
+  std::vector<ag::Var> out;
+  for (auto& [name, p] : named_parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Var>> Module::named_parameters() {
+  std::vector<std::pair<std::string, ag::Var>> out;
+  for (auto& [name, p] : params_) out.emplace_back(name, p);
+  for (auto& [cname, child] : children_) {
+    for (auto& [pname, p] : child->named_parameters()) {
+      out.emplace_back(cname + "." + pname, p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::named_buffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (auto& [name, b] : buffers_) out.emplace_back(name, b);
+  for (auto& [cname, child] : children_) {
+    for (auto& [bname, b] : child->named_buffers()) {
+      out.emplace_back(cname + "." + bname, b);
+    }
+  }
+  return out;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  on_mode_change();
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+std::int64_t Module::num_parameters() {
+  std::int64_t n = 0;
+  for (auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::register_parameter(std::string name, ag::Var p) {
+  params_.emplace_back(std::move(name), std::move(p));
+}
+
+void Module::register_buffer(std::string name, Tensor* buf) {
+  buffers_.emplace_back(std::move(name), buf);
+}
+
+void Module::register_module(std::string name, std::shared_ptr<Module> m) {
+  children_.emplace_back(std::move(name), std::move(m));
+}
+
+void save_model(Module& m, const std::string& path) {
+  std::vector<serialize::NamedBlob> blobs;
+  for (auto& [name, p] : m.named_parameters()) {
+    blobs.push_back({name, p.value().shape(), p.value().vec()});
+  }
+  for (auto& [name, b] : m.named_buffers()) {
+    blobs.push_back({"buffer:" + name, b->shape(), b->vec()});
+  }
+  serialize::save(path, blobs);
+}
+
+void load_model(Module& m, const std::string& path) {
+  const auto blobs = serialize::load(path);
+  std::unordered_map<std::string, const serialize::NamedBlob*> by_name;
+  for (const auto& b : blobs) by_name[b.name] = &b;
+
+  for (auto& [name, p] : m.named_parameters()) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("load_model: missing parameter " + name);
+    }
+    if (it->second->shape != p.value().shape()) {
+      throw std::runtime_error("load_model: shape mismatch for " + name);
+    }
+    p.mutable_value().vec() = it->second->data;
+  }
+  for (auto& [name, b] : m.named_buffers()) {
+    const auto it = by_name.find("buffer:" + name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("load_model: missing buffer " + name);
+    }
+    if (it->second->shape != b->shape()) {
+      throw std::runtime_error("load_model: buffer shape mismatch for " + name);
+    }
+    b->vec() = it->second->data;
+  }
+}
+
+void copy_state(Module& src, Module& dst) {
+  auto sp = src.named_parameters();
+  auto dp = dst.named_parameters();
+  if (sp.size() != dp.size()) {
+    throw std::invalid_argument("copy_state: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    if (!(sp[i].second.value().shape() == dp[i].second.value().shape())) {
+      throw std::invalid_argument("copy_state: shape mismatch at " + sp[i].first);
+    }
+    dp[i].second.mutable_value().vec() = sp[i].second.value().vec();
+  }
+  auto sb = src.named_buffers();
+  auto db = dst.named_buffers();
+  if (sb.size() != db.size()) {
+    throw std::invalid_argument("copy_state: buffer count mismatch");
+  }
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    db[i].second->vec() = sb[i].second->vec();
+  }
+}
+
+}  // namespace ibrar::nn

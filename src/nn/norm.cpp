@@ -1,0 +1,24 @@
+#include "nn/layers.hpp"
+
+namespace ibrar::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(ag::Var::param(Tensor({channels}, 1.0f))),
+      beta_(ag::Var::param(Tensor({channels}))),
+      running_mean_({channels}),
+      running_var_(Tensor({channels}, 1.0f)) {
+  register_parameter("gamma", gamma_);
+  register_parameter("beta", beta_);
+  register_buffer("running_mean", &running_mean_);
+  register_buffer("running_var", &running_var_);
+}
+
+ag::Var BatchNorm2d::forward(const ag::Var& x) {
+  return ag::batch_norm2d(x, gamma_, beta_, running_mean_, running_var_,
+                          training(), momentum_, eps_);
+}
+
+}  // namespace ibrar::nn

@@ -1,0 +1,3 @@
+#include "nn/layers.hpp"
+
+namespace ibrar::nn {}

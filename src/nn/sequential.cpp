@@ -1,0 +1,20 @@
+#include "nn/layers.hpp"
+
+namespace ibrar::nn {
+
+Sequential::Sequential(std::vector<ModulePtr> mods) {
+  for (auto& m : mods) push_back(std::move(m));
+}
+
+void Sequential::push_back(ModulePtr m) {
+  register_module(std::to_string(seq_.size()), m);
+  seq_.push_back(std::move(m));
+}
+
+ag::Var Sequential::forward(const ag::Var& x) {
+  ag::Var h = x;
+  for (auto& m : seq_) h = m->forward(h);
+  return h;
+}
+
+}  // namespace ibrar::nn

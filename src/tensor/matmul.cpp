@@ -1,0 +1,87 @@
+#include "tensor/matmul.hpp"
+
+#include <stdexcept>
+
+namespace ibrar {
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  // ikj ordering: the inner loop runs over contiguous rows of B and C, which
+  // GCC/Clang vectorize well; a[i*k+p] is a scalar across the inner loop.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;  // im2col matrices are often sparse post-ReLU
+      const float* bp = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: bad shapes " + shape_str(a.shape()) +
+                                " x " + shape_str(b.shape()));
+  }
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  const auto n = b.dim(1);
+  Tensor c({m, n});
+  gemm_accumulate(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("matmul_tn: bad shapes");
+  }
+  const auto k = a.dim(0);  // shared dim
+  const auto m = a.dim(1);
+  const auto n = b.dim(1);
+  Tensor c({m, n});
+  // C[i,j] = sum_p A[p,i] B[p,j]; accumulate rank-1 updates row by row so the
+  // inner loop stays contiguous in B and C.
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* ap = pa + p * m;
+    const float* bp = pb + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = ap[i];
+      if (av == 0.0f) continue;
+      float* ci = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("matmul_nt: bad shapes");
+  }
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  const auto n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // C[i,j] = dot(A_row_i, B_row_j): both rows contiguous.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = pa + i * k;
+    float* ci = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = pb + j * k;
+      float s = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+}  // namespace ibrar

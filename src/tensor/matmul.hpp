@@ -1,0 +1,21 @@
+#pragma once
+// Blocked single-threaded GEMM. The models are tiny but conv-as-im2col makes
+// matmul the hot loop, so this kernel is written for the compiler to
+// auto-vectorize (contiguous inner loops, restrict-style locals).
+
+#include "tensor/tensor.hpp"
+
+namespace ibrar {
+
+/// C = A(m,k) * B(k,n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T(m,k) * B(... ) convenience forms used by backward passes.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);  ///< A^T * B, A is (k,m)
+Tensor matmul_nt(const Tensor& a, const Tensor& b);  ///< A * B^T, B is (n,k)
+
+/// Raw kernel: c[m,n] += a[m,k] * b[k,n] (row-major, preallocated).
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+}  // namespace ibrar

@@ -1,0 +1,290 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ibrar {
+namespace {
+
+// Iterate a broadcast binary op with stride arithmetic. Fast path when both
+// shapes match; otherwise walk the output in row-major order mapping each
+// coordinate back into a and b with zero-stride on broadcast axes.
+template <typename F>
+Tensor broadcast_apply(const Tensor& a, const Tensor& b, F&& f) {
+  if (a.same_shape(b)) {
+    Tensor out(a.shape());
+    const auto pa = a.data();
+    const auto pb = b.data();
+    auto po = out.data();
+    const std::size_t n = pa.size();
+    for (std::size_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+
+  const Shape out_shape = broadcast_shape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const std::size_t rank = out_shape.size();
+
+  // Align shapes to out rank with leading 1s, then compute effective strides
+  // (0 where the input dimension is 1).
+  auto aligned_strides = [&](const Tensor& t) {
+    std::vector<std::int64_t> strides(rank, 0);
+    const auto& ts = t.shape();
+    const auto native = row_major_strides(ts);
+    const std::size_t off = rank - ts.size();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      strides[off + i] = ts[i] == 1 ? 0 : native[i];
+    }
+    return strides;
+  };
+  const auto sa = aligned_strides(a);
+  const auto sb = aligned_strides(b);
+
+  std::vector<std::int64_t> coord(rank, 0);
+  const auto pa = a.data();
+  const auto pb = b.data();
+  auto po = out.data();
+  std::int64_t ia = 0;
+  std::int64_t ib = 0;
+  const std::int64_t n = out.numel();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    po[static_cast<std::size_t>(flat)] =
+        f(pa[static_cast<std::size_t>(ia)], pb[static_cast<std::size_t>(ib)]);
+    // Increment the multi-index (odometer) and the two input offsets.
+    for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      coord[du] += 1;
+      ia += sa[du];
+      ib += sb[du];
+      if (coord[du] < out_shape[du]) break;
+      ia -= sa[du] * out_shape[du];
+      ib -= sb[du] * out_shape[du];
+      coord[du] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor binary_op(const Tensor& a, const Tensor& b,
+                 const std::function<float(float, float)>& f) {
+  return broadcast_apply(a, b, f);
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return x / y; });
+}
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return std::min(x, y); });
+}
+Tensor greater(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+}
+Tensor equal_mask(const Tensor& a, const Tensor& b) {
+  return broadcast_apply(a, b, [](float x, float y) { return x == y ? 1.0f : 0.0f; });
+}
+
+Tensor unary_op(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const auto pa = a.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+Tensor neg(const Tensor& a) { return unary_op(a, [](float x) { return -x; }); }
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::log(std::max(x, 1e-38f)); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sqrt(x); });
+}
+Tensor abs(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::fabs(x); });
+}
+Tensor sign(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor tanh(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor square(const Tensor& a) {
+  return unary_op(a, [](float x) { return x * x; });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  return unary_op(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+Tensor pow_scalar(const Tensor& a, float p) {
+  return unary_op(a, [p](float x) { return std::pow(x, p); });
+}
+
+Tensor transpose2d(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("transpose2d: rank != 2");
+  const auto m = a.dim(0);
+  const auto n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows: empty");
+  Shape shape = parts.front().shape();
+  if (shape.empty()) throw std::invalid_argument("concat_rows: scalar part");
+  std::int64_t rows = 0;
+  for (const auto& p : parts) {
+    Shape tail_a(shape.begin() + 1, shape.end());
+    Shape tail_b(p.shape().begin() + 1, p.shape().end());
+    if (p.rank() != static_cast<std::int64_t>(shape.size()) || tail_a != tail_b) {
+      throw std::invalid_argument("concat_rows: trailing shape mismatch");
+    }
+    rows += p.dim(0);
+  }
+  shape[0] = rows;
+  Tensor out(shape);
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out.data().begin() + off);
+    off += p.data().size();
+  }
+  return out;
+}
+
+Tensor take_rows(const Tensor& a, const std::vector<std::int64_t>& idx) {
+  if (a.rank() < 1) throw std::invalid_argument("take_rows: scalar");
+  const std::int64_t row_size = a.numel() / a.dim(0);
+  Shape shape = a.shape();
+  shape[0] = static_cast<std::int64_t>(idx.size());
+  Tensor out(shape);
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    const auto src = idx[r];
+    if (src < 0 || src >= a.dim(0)) throw std::out_of_range("take_rows index");
+    std::copy_n(a.data().begin() + src * row_size, row_size,
+                out.data().begin() + static_cast<std::int64_t>(r) * row_size);
+  }
+  return out;
+}
+
+Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes) {
+  Tensor out({static_cast<std::int64_t>(labels.size()), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      throw std::out_of_range("one_hot label");
+    }
+    out.at(static_cast<std::int64_t>(i), labels[i]) = 1.0f;
+  }
+  return out;
+}
+
+Tensor broadcast_to(const Tensor& a, const Shape& target) {
+  return add(a, Tensor(target));  // add with zeros performs the broadcast copy
+}
+
+Tensor reduce_to_shape(const Tensor& g, const Shape& target) {
+  if (g.shape() == target) return g;
+  const std::size_t out_rank = target.size();
+  const std::size_t g_rank = g.shape().size();
+  if (out_rank > g_rank) {
+    throw std::invalid_argument("reduce_to_shape: target rank exceeds source");
+  }
+  Tensor out(target);
+  const auto g_shape = g.shape();
+  const auto g_strides = row_major_strides(g_shape);
+  // Target strides aligned to g's rank; 0 stride where target dim is 1 or absent.
+  std::vector<std::int64_t> t_strides(g_rank, 0);
+  const auto native = row_major_strides(target);
+  const std::size_t off = g_rank - out_rank;
+  for (std::size_t i = 0; i < out_rank; ++i) {
+    t_strides[off + i] = target[i] == 1 ? 0 : native[i];
+  }
+
+  std::vector<std::int64_t> coord(g_rank, 0);
+  std::int64_t it = 0;
+  const auto pg = g.data();
+  auto po = out.data();
+  const std::int64_t n = g.numel();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    po[static_cast<std::size_t>(it)] += pg[static_cast<std::size_t>(flat)];
+    for (std::int64_t d = static_cast<std::int64_t>(g_rank) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      coord[du] += 1;
+      it += t_strides[du];
+      if (coord[du] < g_shape[du]) break;
+      it -= t_strides[du] * g_shape[du];
+      coord[du] = 0;
+    }
+  }
+  return out;
+}
+
+float sum_all(const Tensor& a) {
+  double s = 0.0;
+  for (const auto x : a.data()) s += x;
+  return static_cast<float>(s);
+}
+
+float mean_all(const Tensor& a) {
+  return a.numel() == 0 ? 0.0f : sum_all(a) / static_cast<float>(a.numel());
+}
+
+float max_all(const Tensor& a) {
+  float m = -std::numeric_limits<float>::infinity();
+  for (const auto x : a.data()) m = std::max(m, x);
+  return m;
+}
+
+float min_all(const Tensor& a) {
+  float m = std::numeric_limits<float>::infinity();
+  for (const auto x : a.data()) m = std::min(m, x);
+  return m;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  const auto pa = a.data();
+  const auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) s += double(pa[i]) * double(pb[i]);
+  return static_cast<float>(s);
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
+
+float linf_norm(const Tensor& a) {
+  float m = 0.0f;
+  for (const auto x : a.data()) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace ibrar

@@ -1,0 +1,85 @@
+#pragma once
+// Tensor kernels: broadcast elementwise arithmetic, unary maps, shape
+// utilities, and the gradient reduction used to undo broadcasting.
+//
+// These are the non-differentiable building blocks; src/autograd wraps them
+// with backward rules.
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace ibrar {
+
+// ---- broadcast binary arithmetic -------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor maximum(const Tensor& a, const Tensor& b);
+Tensor minimum(const Tensor& a, const Tensor& b);
+
+/// Generic broadcast binary op (used by the named ops above and by tests).
+Tensor binary_op(const Tensor& a, const Tensor& b,
+                 const std::function<float(float, float)>& f);
+
+// ---- scalar variants --------------------------------------------------------
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ---- unary maps -------------------------------------------------------------
+
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);          ///< natural log; log(0) clamps to -87.
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor sign(const Tensor& a);         ///< -1/0/+1 per element.
+Tensor relu(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+Tensor pow_scalar(const Tensor& a, float p);
+
+/// Generic unary map.
+Tensor unary_op(const Tensor& a, const std::function<float(float)>& f);
+
+// ---- comparisons (result is 0/1 float mask) ---------------------------------
+
+Tensor greater(const Tensor& a, const Tensor& b);
+Tensor equal_mask(const Tensor& a, const Tensor& b);
+
+// ---- shape / assembly -------------------------------------------------------
+
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+
+/// Concatenate along axis 0 (all trailing dims must match).
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+/// Select rows of a 2-D (or N-d, axis 0) tensor by index.
+Tensor take_rows(const Tensor& a, const std::vector<std::int64_t>& idx);
+
+/// One-hot encode integer labels into (n, num_classes).
+Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes);
+
+/// Broadcast `a` to `target` shape explicitly (copying).
+Tensor broadcast_to(const Tensor& a, const Shape& target);
+
+/// Sum-reduce `g` down to `target` shape — the adjoint of broadcasting.
+Tensor reduce_to_shape(const Tensor& g, const Shape& target);
+
+// ---- scalar folds ------------------------------------------------------------
+
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+float max_all(const Tensor& a);
+float min_all(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+float l2_norm(const Tensor& a);
+float linf_norm(const Tensor& a);
+
+}  // namespace ibrar

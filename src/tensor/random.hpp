@@ -1,0 +1,18 @@
+#pragma once
+// Random tensor constructors (all take an explicit Rng for determinism).
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar {
+
+/// I.i.d. standard normal entries scaled by stddev around mean.
+Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+/// I.i.d. uniform entries in [lo, hi).
+Tensor rand_uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+/// Entries are -1 or +1 with equal probability (used for Linf init noise).
+Tensor rand_sign(Shape shape, Rng& rng);
+
+}  // namespace ibrar

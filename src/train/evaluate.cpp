@@ -1,0 +1,68 @@
+#include "train/evaluate.hpp"
+
+#include "train/metrics.hpp"
+
+namespace ibrar::train {
+namespace {
+
+std::int64_t clamp_samples(const data::Dataset& ds, std::int64_t max_samples) {
+  return max_samples <= 0 ? ds.size() : std::min(max_samples, ds.size());
+}
+
+}  // namespace
+
+double evaluate_clean(models::TapClassifier& model, const data::Dataset& ds,
+                      std::int64_t batch_size) {
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < ds.size(); start += batch_size) {
+    const auto end = std::min(start + batch_size, ds.size());
+    std::vector<std::int64_t> idx;
+    idx.reserve(static_cast<std::size_t>(end - start));
+    for (std::int64_t i = start; i < end; ++i) idx.push_back(i);
+    const auto batch = data::make_batch(ds, idx);
+    const auto pred = attacks::predict(model, batch.x);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      correct += pred[i] == batch.y[i] ? 1 : 0;
+    }
+  }
+  return ds.size() > 0 ? static_cast<double>(correct) / ds.size() : 0.0;
+}
+
+double evaluate_adversarial(models::TapClassifier& model, const data::Dataset& ds,
+                            attacks::Attack& attack, std::int64_t batch_size,
+                            std::int64_t max_samples) {
+  const auto n = clamp_samples(ds, max_samples);
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const auto end = std::min(start + batch_size, n);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < end; ++i) idx.push_back(i);
+    const auto batch = data::make_batch(ds, idx);
+    const Tensor adv = attack.perturb(model, batch.x, batch.y);
+    const auto pred = attacks::predict(model, adv);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      correct += pred[i] == batch.y[i] ? 1 : 0;
+    }
+  }
+  return n > 0 ? static_cast<double>(correct) / n : 0.0;
+}
+
+std::vector<std::int64_t> adversarial_predictions(
+    models::TapClassifier& model, const data::Dataset& ds,
+    attacks::Attack& attack, std::int64_t batch_size, std::int64_t max_samples) {
+  const auto n = clamp_samples(ds, max_samples);
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const auto end = std::min(start + batch_size, n);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < end; ++i) idx.push_back(i);
+    const auto batch = data::make_batch(ds, idx);
+    const Tensor adv = attack.perturb(model, batch.x, batch.y);
+    const auto pred = attacks::predict(model, adv);
+    out.insert(out.end(), pred.begin(), pred.end());
+  }
+  return out;
+}
+
+}  // namespace ibrar::train

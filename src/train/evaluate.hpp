@@ -1,0 +1,25 @@
+#pragma once
+// Batched clean / adversarial evaluation over datasets.
+
+#include "attacks/attack.hpp"
+#include "data/dataset.hpp"
+
+namespace ibrar::train {
+
+/// Top-1 accuracy on clean examples.
+double evaluate_clean(models::TapClassifier& model, const data::Dataset& ds,
+                      std::int64_t batch_size = 100);
+
+/// Top-1 accuracy on adversarial examples produced by `attack`; at most
+/// `max_samples` examples are attacked (<=0 = all).
+double evaluate_adversarial(models::TapClassifier& model, const data::Dataset& ds,
+                            attacks::Attack& attack, std::int64_t batch_size = 100,
+                            std::int64_t max_samples = -1);
+
+/// Predictions on adversarial examples (for Table 5 confusion analysis).
+std::vector<std::int64_t> adversarial_predictions(
+    models::TapClassifier& model, const data::Dataset& ds,
+    attacks::Attack& attack, std::int64_t batch_size = 100,
+    std::int64_t max_samples = -1);
+
+}  // namespace ibrar::train

@@ -1,0 +1,14 @@
+#include "train/hbar.hpp"
+
+namespace ibrar::train {
+
+ag::Var HBaRObjective::compute(models::TapClassifier& model,
+                               const data::Batch& batch) {
+  ag::Var input = ag::Var::constant(batch.x);
+  auto out = model.forward_with_taps(input);
+  ag::Var loss = ag::cross_entropy(out.logits, batch.y);
+  return ag::add(loss, mi::ib_objective(input, out.taps, batch.y,
+                                        model.num_classes(), cfg_));
+}
+
+}  // namespace ibrar::train

@@ -1,0 +1,26 @@
+#pragma once
+// HBaR baseline (Wang et al. 2021, "Revisiting HSIC bottleneck for adversarial
+// robustness"): CE plus the HSIC bottleneck over ALL hidden layers —
+// structurally the same regularizer as IB-RAR's Eq. (1) but with every layer
+// and no feature mask (the two deltas IB-RAR adds on top).
+
+#include "mi/objective.hpp"
+#include "train/objective.hpp"
+
+namespace ibrar::train {
+
+class HBaRObjective : public Objective {
+ public:
+  explicit HBaRObjective(float lambda_x = 1.0f, float lambda_y = 0.1f) {
+    cfg_.alpha = lambda_x;
+    cfg_.beta = lambda_y;
+    // empty layer_indices = all taps
+  }
+  std::string name() const override { return "HBaR"; }
+  ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
+
+ private:
+  mi::IBObjectiveConfig cfg_;
+};
+
+}  // namespace ibrar::train

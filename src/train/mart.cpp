@@ -1,0 +1,62 @@
+#include "train/mart.hpp"
+
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::train {
+
+ag::Var MARTObjective::compute(models::TapClassifier& model,
+                               const data::Batch& batch) {
+  const Tensor adv = attack_->perturb(model, batch.x, batch.y);
+  const auto n = batch.size();
+
+  ag::Var logits_adv = model.forward(ag::Var::constant(adv));
+  ag::Var p_adv = ag::softmax(logits_adv);
+
+  // BCE part: -log p_y(x') - log(1 - max_{k != y} p_k(x')).
+  ag::Var ce = ag::cross_entropy(logits_adv, batch.y);
+  std::vector<std::int64_t> wrong(static_cast<std::size_t>(n));
+  {
+    const Tensor& pv = p_adv.value();
+    for (std::int64_t i = 0; i < n; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      std::int64_t bj = batch.y[static_cast<std::size_t>(i)] == 0 ? 1 : 0;
+      for (std::int64_t j = 0; j < pv.dim(1); ++j) {
+        if (j == batch.y[static_cast<std::size_t>(i)]) continue;
+        if (pv.at(i, j) > best) {
+          best = pv.at(i, j);
+          bj = j;
+        }
+      }
+      wrong[static_cast<std::size_t>(i)] = bj;
+    }
+  }
+  ag::Var p_wrong = ag::gather_cols(p_adv, wrong);  // (n,1)
+  ag::Var margin = ag::neg(ag::mean(
+      ag::log(ag::add_scalar(ag::neg(p_wrong), 1.0f + 1e-6f))));
+  ag::Var bce = ag::add(ce, margin);
+
+  // Misclassification-aware KL term: weight by (1 - p_y(x)) with the clean
+  // probabilities treated as constants (as in the reference implementation).
+  ag::Var logits_clean = model.forward(ag::Var::constant(batch.x));
+  ag::Var p_clean = ag::softmax(logits_clean);
+  Tensor weight({n, 1});
+  {
+    const Tensor& pc = p_clean.value();
+    for (std::int64_t i = 0; i < n; ++i) {
+      weight.at(i, 0) = 1.0f - pc.at(i, batch.y[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Per-sample KL(p_clean || p_adv), weighted then averaged.
+  ag::Var log_p_adv = ag::log_softmax(logits_adv);
+  ag::Var per_elem = ag::mul(ag::detach(p_clean),
+                             ag::sub(ag::log(ag::detach(p_clean)), log_p_adv));
+  ag::Var per_sample = ag::sum_axis(per_elem, 1, /*keepdim=*/true);  // (n,1)
+  ag::Var weighted = ag::mean(ag::mul(per_sample, ag::Var::constant(weight)));
+
+  return ag::add(bce, ag::mul_scalar(weighted, lambda_));
+}
+
+}  // namespace ibrar::train

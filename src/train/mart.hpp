@@ -1,0 +1,23 @@
+#pragma once
+// MART (Wang et al. 2020): misclassification-aware adversarial training.
+// Outer loss = BCE(p(x'), y) + lambda * KL(p(x) || p(x')) * (1 - p_y(x)),
+// where BCE adds a margin term -log(1 - max_{k != y} p_k(x')) to CE, and the
+// weighting emphasizes examples the clean model already gets wrong.
+
+#include "train/objective.hpp"
+
+namespace ibrar::train {
+
+class MARTObjective : public Objective {
+ public:
+  MARTObjective(attacks::AttackConfig inner, float lambda = 5.0f)
+      : attack_(std::make_unique<attacks::PGD>(inner)), lambda_(lambda) {}
+  std::string name() const override { return "MART"; }
+  ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
+
+ private:
+  std::unique_ptr<attacks::PGD> attack_;
+  float lambda_;
+};
+
+}  // namespace ibrar::train

@@ -1,0 +1,52 @@
+#pragma once
+// Training objectives: pluggable loss builders for the Trainer.
+//
+// Each objective sees the model and a minibatch and returns the scalar loss
+// Var whose backward() produces parameter gradients. Adversarial-training
+// objectives run their inner maximization here (the trainer zeroes parameter
+// grads after objective construction, so attack-time gradient pollution is a
+// non-issue even without the AttackModeGuard's pausing).
+
+#include <memory>
+#include <string>
+
+#include "attacks/pgd.hpp"
+#include "data/dataset.hpp"
+#include "models/classifier.hpp"
+
+namespace ibrar::train {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual std::string name() const = 0;
+
+  /// Build the loss graph for one batch (model is in training mode).
+  virtual ag::Var compute(models::TapClassifier& model,
+                          const data::Batch& batch) = 0;
+};
+
+using ObjectivePtr = std::shared_ptr<Objective>;
+
+/// Plain cross-entropy on clean inputs ("CE only" baseline).
+class CEObjective : public Objective {
+ public:
+  std::string name() const override { return "CE"; }
+  ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
+};
+
+/// Madry-style PGD adversarial training: CE on PGD examples of the batch.
+class PGDATObjective : public Objective {
+ public:
+  explicit PGDATObjective(attacks::AttackConfig inner)
+      : attack_(std::make_unique<attacks::PGD>(inner)) {}
+  std::string name() const override { return "PGD-AT"; }
+  ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
+
+  attacks::PGD& inner_attack() { return *attack_; }
+
+ private:
+  std::unique_ptr<attacks::PGD> attack_;
+};
+
+}  // namespace ibrar::train

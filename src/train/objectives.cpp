@@ -1,0 +1,16 @@
+#include "train/objective.hpp"
+
+namespace ibrar::train {
+
+ag::Var CEObjective::compute(models::TapClassifier& model,
+                             const data::Batch& batch) {
+  return ag::cross_entropy(model.forward(ag::Var::constant(batch.x)), batch.y);
+}
+
+ag::Var PGDATObjective::compute(models::TapClassifier& model,
+                                const data::Batch& batch) {
+  const Tensor adv = attack_->perturb(model, batch.x, batch.y);
+  return ag::cross_entropy(model.forward(ag::Var::constant(adv)), batch.y);
+}
+
+}  // namespace ibrar::train

@@ -1,0 +1,30 @@
+#include "train/optimizer.hpp"
+
+namespace ibrar::train {
+
+SGD::SGD(std::vector<ag::Var> params, Config cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value().shape());
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const Tensor& g = p.grad();
+    Tensor& v = velocity_[i];
+    Tensor& w = p.mutable_value();
+    const auto n = w.numel();
+    for (std::int64_t k = 0; k < n; ++k) {
+      const float grad = g[k] + cfg_.weight_decay * w[k];
+      v[k] = cfg_.momentum * v[k] + grad;
+      w[k] -= cfg_.lr * v[k];
+    }
+  }
+}
+
+void SGD::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace ibrar::train

@@ -1,0 +1,59 @@
+#pragma once
+// SGD with momentum and decoupled-from-nothing classic L2 weight decay —
+// the paper's optimizer (SGD, weight decay 1e-2).
+
+#include <vector>
+
+#include "autograd/var.hpp"
+
+namespace ibrar::train {
+
+class SGD {
+ public:
+  struct Config {
+    float lr = 0.01f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-2f;
+  };
+
+  SGD(std::vector<ag::Var> params, Config cfg);
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+
+  /// Clear every parameter gradient.
+  void zero_grad();
+
+  float lr() const { return cfg_.lr; }
+  void set_lr(float lr) { cfg_.lr = lr; }
+
+ private:
+  std::vector<ag::Var> params_;
+  std::vector<Tensor> velocity_;
+  Config cfg_;
+};
+
+/// StepLR: multiply lr by gamma every `step_size` epochs (paper: 20 / 0.2).
+class StepLR {
+ public:
+  StepLR(SGD& opt, std::int64_t step_size = 20, float gamma = 0.2f)
+      : opt_(&opt), step_size_(step_size), gamma_(gamma) {}
+
+  /// Call once per finished epoch.
+  void epoch_end() {
+    ++epoch_;
+    if (step_size_ > 0 && epoch_ % step_size_ == 0) {
+      opt_->set_lr(opt_->lr() * gamma_);
+    }
+  }
+
+  std::int64_t epoch() const { return epoch_; }
+
+ private:
+  SGD* opt_;
+  std::int64_t step_size_;
+  float gamma_;
+  std::int64_t epoch_ = 0;
+};
+
+}  // namespace ibrar::train

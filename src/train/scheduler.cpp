@@ -1,0 +1,4 @@
+#include "train/optimizer.hpp"
+
+// StepLR is header-only; this TU anchors the target's source list.
+namespace ibrar::train {}

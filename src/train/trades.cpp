@@ -1,0 +1,53 @@
+#include "train/trades.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::train {
+
+Tensor TRADESObjective::kl_pgd(models::TapClassifier& model, const Tensor& x,
+                               const Tensor& p_clean) {
+  attacks::AttackModeGuard guard(model);
+  Tensor adv = x;
+  // TRADES initializes with small Gaussian noise rather than uniform.
+  {
+    Tensor noise = randn(x.shape(), rng_, 0.0f, 1e-3f);
+    adv = add(adv, noise);
+    attacks::project_linf(adv, x, inner_.eps, inner_.clip_lo, inner_.clip_hi);
+  }
+  const ag::Var p_const = ag::Var::constant(p_clean);
+  for (std::int64_t s = 0; s < inner_.steps; ++s) {
+    ag::Var input = ag::Var::param(adv);
+    ag::Var kl = ag::kl_div(p_const, ag::log_softmax(model.forward(input)));
+    kl.backward();
+    adv = add(adv, mul_scalar(sign(input.grad()), inner_.alpha));
+    attacks::project_linf(adv, x, inner_.eps, inner_.clip_lo, inner_.clip_hi);
+  }
+  return adv;
+}
+
+ag::Var TRADESObjective::compute(models::TapClassifier& model,
+                                 const data::Batch& batch) {
+  // Clean distribution for the inner maximization (fixed target).
+  Tensor p_clean;
+  {
+    ag::NoGradGuard ng;
+    const bool was = model.training();
+    model.set_training(false);
+    p_clean = softmax_rows(model.forward(ag::Var::constant(batch.x)).value());
+    model.set_training(was);
+  }
+  const Tensor adv = kl_pgd(model, batch.x, p_clean);
+
+  // Outer loss: CE(clean) + beta * KL(p(clean) || p(adv)); gradients flow
+  // through both forward passes.
+  ag::Var logits_clean = model.forward(ag::Var::constant(batch.x));
+  ag::Var loss_nat = ag::cross_entropy(logits_clean, batch.y);
+  ag::Var p_clean_var = ag::softmax(logits_clean);
+  ag::Var log_p_adv = ag::log_softmax(model.forward(ag::Var::constant(adv)));
+  ag::Var robust = ag::kl_div(p_clean_var, log_p_adv);
+  return ag::add(loss_nat, ag::mul_scalar(robust, beta_));
+}
+
+}  // namespace ibrar::train

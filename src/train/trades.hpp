@@ -1,0 +1,27 @@
+#pragma once
+// TRADES (Zhang et al. 2019): CE on clean inputs plus beta * KL between the
+// clean and adversarial predictive distributions, with the adversarial point
+// found by maximizing that KL inside the eps-ball.
+
+#include "train/objective.hpp"
+
+namespace ibrar::train {
+
+class TRADESObjective : public Objective {
+ public:
+  TRADESObjective(attacks::AttackConfig inner, float beta = 6.0f)
+      : inner_(inner), beta_(beta), rng_(inner.seed ^ 0x7d5u) {}
+  std::string name() const override { return "TRADES"; }
+  ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
+
+ private:
+  /// Inner maximization: PGD steps on KL(p_clean || p(x')).
+  Tensor kl_pgd(models::TapClassifier& model, const Tensor& x,
+                const Tensor& p_clean);
+
+  attacks::AttackConfig inner_;
+  float beta_;
+  Rng rng_;
+};
+
+}  // namespace ibrar::train

@@ -1,0 +1,16 @@
+#include "train/vib.hpp"
+
+namespace ibrar::train {
+
+ag::Var VIBObjective::compute(models::TapClassifier& model,
+                              const data::Batch& batch) {
+  auto out = model.forward_with_taps(ag::Var::constant(batch.x));
+  ag::Var loss = ag::cross_entropy(out.logits, batch.y);
+  // Rate term on the stochastic encoding z (the last tap, which carries the
+  // injected reparameterization noise): 0.5 * mean ||z||^2.
+  const ag::Var& z = out.taps.back();
+  ag::Var rate = ag::mul_scalar(ag::mean(ag::sum_axis(ag::square(z), 1)), 0.5f);
+  return ag::add(loss, ag::mul_scalar(rate, beta_));
+}
+
+}  // namespace ibrar::train

@@ -1,0 +1,27 @@
+#pragma once
+// VIB baseline (Alemi et al. 2017) in its deterministic-mean approximation:
+// the model injects Gaussian reparameterization noise on the penultimate
+// representation (TapClassifier::set_penultimate_noise), and this objective
+// adds the KL(q(z|x) || N(0, I)) rate penalty, which for a unit-variance
+// encoder reduces to 0.5 * E||mu||^2 (constants dropped). See DESIGN.md.
+
+#include "train/objective.hpp"
+
+namespace ibrar::train {
+
+class VIBObjective : public Objective {
+ public:
+  /// beta: rate weight; noise_std: encoder stochasticity (set on the model).
+  VIBObjective(models::TapClassifier& model, float beta = 1e-3f,
+               float noise_std = 0.1f)
+      : beta_(beta) {
+    model.set_penultimate_noise(noise_std);
+  }
+  std::string name() const override { return "VIB"; }
+  ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
+
+ private:
+  float beta_;
+};
+
+}  // namespace ibrar::train

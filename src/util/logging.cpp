@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace ibrar::logging {
+namespace {
+
+Level parse_env_level() {
+  const char* e = std::getenv("IBRAR_LOG");
+  if (e == nullptr) return Level::kInfo;
+  const std::string s(e);
+  if (s == "trace") return Level::kTrace;
+  if (s == "debug") return Level::kDebug;
+  if (s == "info") return Level::kInfo;
+  if (s == "warn") return Level::kWarn;
+  if (s == "error") return Level::kError;
+  if (s == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+Level& mutable_level() {
+  static Level lvl = parse_env_level();
+  return lvl;
+}
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return mutable_level(); }
+void set_level(Level lvl) { mutable_level() = lvl; }
+
+void emit(Level lvl, const std::string& msg) {
+  if (lvl < level()) return;
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %s\n", tag(lvl), msg.c_str());
+}
+
+}  // namespace ibrar::logging

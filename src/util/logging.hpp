@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The benches and trainers log progress at Info; tests run at Warn by default
+// so ctest output stays readable. Level is process-global and adjustable via
+// the IBRAR_LOG environment variable (trace|debug|info|warn|error).
+
+#include <sstream>
+#include <string>
+
+namespace ibrar::logging {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current global level (initialized once from IBRAR_LOG).
+Level level();
+
+/// Override the global level programmatically.
+void set_level(Level lvl);
+
+/// Emit one line at `lvl` (no-op when below the global level).
+void emit(Level lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(Args&&... a) { emit(Level::kTrace, detail::cat(std::forward<Args>(a)...)); }
+template <typename... Args>
+void debug(Args&&... a) { emit(Level::kDebug, detail::cat(std::forward<Args>(a)...)); }
+template <typename... Args>
+void info(Args&&... a) { emit(Level::kInfo, detail::cat(std::forward<Args>(a)...)); }
+template <typename... Args>
+void warn(Args&&... a) { emit(Level::kWarn, detail::cat(std::forward<Args>(a)...)); }
+template <typename... Args>
+void error(Args&&... a) { emit(Level::kError, detail::cat(std::forward<Args>(a)...)); }
+
+}  // namespace ibrar::logging

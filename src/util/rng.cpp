@@ -1,0 +1,5 @@
+#include "util/rng.hpp"
+
+// Header-only today; the translation unit pins the library's ABI so future
+// out-of-line additions do not reshuffle link lines.
+namespace ibrar {}

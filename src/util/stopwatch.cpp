@@ -1,0 +1,3 @@
+#include "util/stopwatch.hpp"
+
+namespace ibrar {}

@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock stopwatch for progress reporting in trainers and benches.
+
+#include <chrono>
+
+namespace ibrar {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart and return elapsed seconds since construction / last reset.
+  double reset() {
+    const auto now = clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds without resetting.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ibrar

@@ -1,0 +1,41 @@
+#pragma once
+// Column-aligned ASCII table printing for the bench harness.
+//
+// Every bench prints the rows the paper reports, with paper reference values
+// next to measured values, through this one formatter so outputs stay uniform
+// and greppable.
+
+#include <string>
+#include <vector>
+
+namespace ibrar {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column separators and a header rule.
+  std::string to_string() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+  /// Format helper: fixed-precision float cell.
+  static std::string num(double v, int precision = 2);
+
+  /// Format helper: "measured (paper ref)" cell.
+  static std::string vs_paper(double measured, double paper, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ibrar

@@ -1,0 +1,212 @@
+// Synthetic data generator: determinism, ranges, class balance/imbalance,
+// shared-feature correlation structure, loader semantics, registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/loader.hpp"
+#include "data/registry.hpp"
+#include "tensor/ops.hpp"
+
+namespace ibrar::data {
+namespace {
+
+double image_correlation(const Tensor& protos, std::int64_t a, std::int64_t b) {
+  const std::int64_t img = protos.numel() / protos.dim(0);
+  double dot_ab = 0, na = 0, nb = 0, ma = 0, mb = 0;
+  for (std::int64_t k = 0; k < img; ++k) {
+    ma += protos.data()[a * img + k];
+    mb += protos.data()[b * img + k];
+  }
+  ma /= img;
+  mb /= img;
+  for (std::int64_t k = 0; k < img; ++k) {
+    const double va = protos.data()[a * img + k] - ma;
+    const double vb = protos.data()[b * img + k] - mb;
+    dot_ab += va * vb;
+    na += va * va;
+    nb += vb * vb;
+  }
+  return dot_ab / std::sqrt(na * nb + 1e-12);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  auto cfg = cifar10_like(64, 32, 5);
+  const auto a = generate(cfg);
+  const auto b = generate(cfg);
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const auto a = generate(cifar10_like(64, 32, 5));
+  const auto b = generate(cifar10_like(64, 32, 6));
+  double diff = 0;
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    diff += std::fabs(a.train.images[i] - b.train.images[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Synthetic, ImagesInUnitRange) {
+  const auto d = generate(cifar10_like(128, 32, 7));
+  EXPECT_GE(min_all(d.train.images), 0.0f);
+  EXPECT_LE(max_all(d.train.images), 1.0f);
+}
+
+TEST(Synthetic, BalancedClassCounts) {
+  const auto d = generate(cifar10_like(200, 100, 7));
+  const auto counts = d.train.class_counts();
+  for (const auto c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(Synthetic, SVHNImbalanceMatchesPaperPlateau) {
+  const auto d = make_dataset("synth-svhn", 4000, 100, 13);
+  const auto counts = d.train.class_counts();
+  std::int64_t majority = 0;
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > majority) {
+      majority = counts[i];
+      arg = i;
+    }
+  }
+  EXPECT_EQ(arg, 1u);  // digit '1' dominates, as in real SVHN
+  const double prior = static_cast<double>(majority) / d.train.size();
+  EXPECT_NEAR(prior, 0.196, 0.03);  // the 19.587% plateau of Fig. 4
+}
+
+TEST(Synthetic, SharedPairsAreMoreCorrelated) {
+  const auto cfg = cifar10_like(32, 16, 11);
+  const auto d = generate(cfg);
+  // Planted pair (car=1, truck=9) must correlate more than a non-pair
+  // average.
+  const double paired = image_correlation(d.prototypes, 1, 9);
+  double unpaired = 0;
+  int n = 0;
+  for (std::int64_t a = 0; a < 10; ++a) {
+    for (std::int64_t b = a + 1; b < 10; ++b) {
+      const bool is_pair = [&] {
+        for (const auto& [pa, pb] : cfg.shared_pairs) {
+          if ((pa == a && pb == b) || (pa == b && pb == a)) return true;
+        }
+        return false;
+      }();
+      if (!is_pair) {
+        unpaired += image_correlation(d.prototypes, a, b);
+        ++n;
+      }
+    }
+  }
+  unpaired /= n;
+  EXPECT_GT(paired, unpaired + 0.15);
+}
+
+TEST(Synthetic, ClassNamesMatchCifar) {
+  const auto d = make_dataset("synth-cifar10", 16, 16);
+  ASSERT_EQ(d.train.class_names.size(), 10u);
+  EXPECT_EQ(d.train.class_names[1], "car");
+  EXPECT_EQ(d.train.class_names[9], "truck");
+}
+
+TEST(Synthetic, PrototypesCarrySignal) {
+  // Same-class samples must be closer to their own prototype than to others'.
+  const auto d = generate(cifar10_like(100, 20, 17));
+  const std::int64_t img = d.prototypes.numel() / d.prototypes.dim(0);
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    double best = 1e30;
+    std::int64_t best_c = -1;
+    for (std::int64_t c = 0; c < 10; ++c) {
+      double dist = 0;
+      for (std::int64_t k = 0; k < img; ++k) {
+        const double v =
+            d.train.images.data()[i * img + k] - d.prototypes.data()[c * img + k];
+        dist += v * v;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    hits += best_c == d.train.labels[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  EXPECT_GE(hits, 35);  // nearest-prototype classifies most samples
+}
+
+TEST(DatasetOps, SubsetAndHead) {
+  const auto d = make_dataset("synth-cifar10", 30, 10);
+  const auto sub = d.train.subset({5, 2, 7});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.labels[0], d.train.labels[5]);
+  EXPECT_EQ(sub.labels[2], d.train.labels[7]);
+  const auto h = d.train.head(4);
+  EXPECT_EQ(h.size(), 4);
+  EXPECT_EQ(h.labels[3], d.train.labels[3]);
+}
+
+TEST(DatasetOps, MakeBatch) {
+  const auto d = make_dataset("synth-cifar10", 20, 10);
+  const auto b = make_batch(d.train, {0, 19});
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.x.shape()[0], 2);
+  EXPECT_EQ(b.y[1], d.train.labels[19]);
+}
+
+TEST(Loader, CoversEveryExampleOnce) {
+  const auto d = make_dataset("synth-cifar10", 53, 10);
+  DataLoader loader(d.train, 10, /*shuffle=*/true, Rng(3));
+  loader.begin_epoch();
+  Batch b;
+  std::vector<std::int64_t> seen_labels;
+  std::int64_t total = 0;
+  while (loader.next(b)) {
+    total += b.size();
+    EXPECT_LE(b.size(), 10);
+  }
+  EXPECT_EQ(total, 53);
+  EXPECT_EQ(loader.batches_per_epoch(), 6);
+}
+
+TEST(Loader, ShuffleChangesOrderAcrossEpochs) {
+  const auto d = make_dataset("synth-cifar10", 40, 10);
+  DataLoader loader(d.train, 40, /*shuffle=*/true, Rng(4));
+  Batch b1, b2;
+  loader.begin_epoch();
+  loader.next(b1);
+  loader.begin_epoch();
+  loader.next(b2);
+  EXPECT_NE(b1.y, b2.y);  // 40! orderings; collision is negligible
+}
+
+TEST(Loader, NoShufflePreservesOrder) {
+  const auto d = make_dataset("synth-cifar10", 12, 10);
+  DataLoader loader(d.train, 5, /*shuffle=*/false, Rng(5));
+  loader.begin_epoch();
+  Batch b;
+  loader.next(b);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(b.y[static_cast<std::size_t>(i)], d.train.labels[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Registry, AllDatasetsGenerate) {
+  for (const auto& name : dataset_names()) {
+    const auto d = make_dataset(name, 20, 10);
+    EXPECT_EQ(d.train.size(), 20) << name;
+    EXPECT_EQ(d.test.size(), 10) << name;
+    EXPECT_GT(d.train.num_classes, 0) << name;
+  }
+  EXPECT_THROW(make_dataset("imagenet", 10, 10), std::invalid_argument);
+}
+
+TEST(Registry, TinyImageNetHas20Classes) {
+  const auto d = make_dataset("synth-tinyimagenet", 40, 20);
+  EXPECT_EQ(d.train.num_classes, 20);
+}
+
+}  // namespace
+}  // namespace ibrar::data

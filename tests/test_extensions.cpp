@@ -1,0 +1,227 @@
+// Extension features beyond the paper's evaluated battery: MI-FGSM, the
+// black-box Square attack (gradient-masking control), and the shared-feature
+// distillation pipeline the paper proposes as future work.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/mifgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "attacks/square.hpp"
+#include "core/shared_features.hpp"
+#include "data/registry.hpp"
+#include "ibrar.hpp"  // umbrella header must compile standalone
+#include "models/registry.hpp"
+#include "train/evaluate.hpp"
+#include "train/trainer.hpp"
+
+namespace ibrar {
+namespace {
+
+struct Setup {
+  data::SyntheticData data = data::make_dataset("synth-cifar10", 400, 150);
+  models::TapClassifierPtr model;
+
+  Setup() {
+    Rng rng(3);
+    models::ModelSpec spec;
+    spec.name = "vgg16";
+    model = models::make_model(spec, rng);
+    train::TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 100;
+    train::Trainer(model, std::make_shared<train::CEObjective>(), tc)
+        .fit(data.train);
+  }
+};
+
+Setup& setup() {
+  static Setup s;
+  return s;
+}
+
+data::Batch probe_batch(std::int64_t n = 60) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  return data::make_batch(setup().data.test, idx);
+}
+
+void expect_in_ball(const Tensor& adv, const Tensor& x, float eps) {
+  for (std::int64_t i = 0; i < adv.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - x[i]), eps + 1e-5);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST(MIFGSMTest, StaysInBallAndAttacks) {
+  auto b = probe_batch();
+  attacks::AttackConfig cfg;
+  cfg.steps = 10;
+  attacks::MIFGSM atk(cfg);
+  const Tensor adv = atk.perturb(*setup().model, b.x, b.y);
+  expect_in_ball(adv, b.x, cfg.eps);
+  EXPECT_LT(attacks::accuracy(*setup().model, adv, b.y),
+            attacks::accuracy(*setup().model, b.x, b.y));
+  EXPECT_EQ(atk.name(), "MIFGSM10");
+}
+
+TEST(MIFGSMTest, ComparableToNIFGSMFamily) {
+  auto b = probe_batch();
+  attacks::AttackConfig cfg;
+  cfg.steps = 10;
+  attacks::MIFGSM mi_atk(cfg);
+  attacks::PGD pgd(cfg);
+  const double mi_acc = attacks::accuracy(
+      *setup().model, mi_atk.perturb(*setup().model, b.x, b.y), b.y);
+  const double pgd_acc = attacks::accuracy(
+      *setup().model, pgd.perturb(*setup().model, b.x, b.y), b.y);
+  // Momentum FGSM should be in the same effectiveness league as PGD.
+  EXPECT_LT(mi_acc, pgd_acc + 0.25);
+}
+
+TEST(SquareTest, BlackBoxStaysInBallAndAttacks) {
+  auto b = probe_batch();
+  attacks::AttackConfig cfg;
+  cfg.steps = 150;  // queries
+  attacks::SquareAttack atk(cfg);
+  const Tensor adv = atk.perturb(*setup().model, b.x, b.y);
+  expect_in_ball(adv, b.x, cfg.eps);
+  EXPECT_LT(attacks::accuracy(*setup().model, adv, b.y),
+            attacks::accuracy(*setup().model, b.x, b.y));
+}
+
+TEST(SquareTest, MoreQueriesNoWeaker) {
+  auto b = probe_batch(40);
+  attacks::AttackConfig c1;
+  c1.steps = 30;
+  c1.seed = 5;
+  attacks::AttackConfig c2 = c1;
+  c2.steps = 200;
+  attacks::SquareAttack a1(c1), a2(c2);
+  const double acc1 = attacks::accuracy(
+      *setup().model, a1.perturb(*setup().model, b.x, b.y), b.y);
+  const double acc2 = attacks::accuracy(
+      *setup().model, a2.perturb(*setup().model, b.x, b.y), b.y);
+  EXPECT_LE(acc2, acc1 + 0.08);
+}
+
+TEST(SquareTest, NoGradientMaskingInIBRAR) {
+  // The gradient-masking control the Square attack exists for: a defense
+  // whose white-box (PGD) accuracy vastly exceeds its black-box (Square)
+  // accuracy is obfuscating gradients. IB-RAR should not show that pattern:
+  // PGD must be at least as strong as (or close to) Square.
+  auto b = probe_batch();
+  attacks::AttackConfig pc;
+  pc.steps = 10;
+  attacks::PGD pgd(pc);
+  attacks::AttackConfig sc;
+  sc.steps = 200;
+  attacks::SquareAttack square(sc);
+  const double pgd_acc = attacks::accuracy(
+      *setup().model, pgd.perturb(*setup().model, b.x, b.y), b.y);
+  const double square_acc = attacks::accuracy(
+      *setup().model, square.perturb(*setup().model, b.x, b.y), b.y);
+  EXPECT_LE(pgd_acc, square_acc + 0.10);
+}
+
+TEST(SharedFeatures, PlantedPairsRankMostSimilar) {
+  const auto report = core::analyze_shared_features(*setup().model,
+                                                    setup().data.train);
+  ASSERT_FALSE(report.ranked_pairs.empty());
+  // The generator plants car<->truck (1,9), cat<->dog (3,5), bird<->deer
+  // (2,4), plane<->ship (0,8), deer<->horse (4,7), cat<->frog (3,6). At
+  // least two of the top-4 ranked pairs should be planted ones.
+  const std::vector<std::pair<std::int64_t, std::int64_t>> planted = {
+      {1, 9}, {3, 5}, {2, 4}, {0, 8}, {4, 7}, {3, 6}};
+  // Statistical form of the claim (robust at miniature training scale): the
+  // planted pairs' mean similarity exceeds the non-planted pairs' mean.
+  auto is_planted = [&](std::int64_t a, std::int64_t b) {
+    for (const auto& q : planted) {
+      if ((q.first == a && q.second == b) || (q.first == b && q.second == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  double planted_sum = 0, other_sum = 0;
+  int planted_n = 0, other_n = 0;
+  const auto& sim = report.class_similarity;
+  for (std::int64_t a = 0; a < sim.dim(0); ++a) {
+    for (std::int64_t b = a + 1; b < sim.dim(1); ++b) {
+      if (is_planted(a, b)) {
+        planted_sum += sim.at(a, b);
+        ++planted_n;
+      } else {
+        other_sum += sim.at(a, b);
+        ++other_n;
+      }
+    }
+  }
+  EXPECT_GT(planted_sum / planted_n, other_sum / other_n);
+}
+
+TEST(SharedFeatures, SimilarityMatrixIsSymmetricWithUnitDiagonal) {
+  const auto report = core::analyze_shared_features(*setup().model,
+                                                    setup().data.train);
+  const auto& s = report.class_similarity;
+  for (std::int64_t a = 0; a < s.dim(0); ++a) {
+    EXPECT_NEAR(s.at(a, a), 1.0f, 1e-4);
+    for (std::int64_t b = 0; b < s.dim(1); ++b) {
+      EXPECT_NEAR(s.at(a, b), s.at(b, a), 1e-5);
+      EXPECT_LE(std::fabs(s.at(a, b)), 1.0f + 1e-5);
+    }
+  }
+}
+
+TEST(SharedFeatures, MaskDropsHighestSharedChannels) {
+  const auto report = core::analyze_shared_features(*setup().model,
+                                                    setup().data.train);
+  const Tensor mask = core::shared_feature_mask(report, 0.25f);
+  ASSERT_EQ(mask.numel(),
+            static_cast<std::int64_t>(report.channel_shared_score.size()));
+  float max_kept = -1e30f, min_dropped = 1e30f;
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    const float score = report.channel_shared_score[static_cast<std::size_t>(i)];
+    if (mask[i] == 0.0f) {
+      min_dropped = std::min(min_dropped, score);
+    } else {
+      max_kept = std::max(max_kept, score);
+    }
+  }
+  // Dropped = highest shared scores.
+  EXPECT_GE(min_dropped, max_kept - 1e-6f);
+}
+
+TEST(SharedFeatures, CombineMasksIsConjunction) {
+  Tensor a({4}, {1, 0, 1, 1});
+  Tensor b({4}, {1, 1, 0, 1});
+  const Tensor c = core::combine_masks(a, b);
+  EXPECT_FLOAT_EQ(c[0], 1);
+  EXPECT_FLOAT_EQ(c[1], 0);
+  EXPECT_FLOAT_EQ(c[2], 0);
+  EXPECT_FLOAT_EQ(c[3], 1);
+  // All-zero conjunction keeps one channel alive.
+  Tensor z({2}, {1.0f, 0.0f});
+  Tensor z2({2}, {0.0f, 1.0f});
+  const Tensor kept = core::combine_masks(z, z2);
+  EXPECT_FLOAT_EQ(kept[0] + kept[1], 1.0f);
+  EXPECT_THROW(core::combine_masks(a, Tensor({3}, 1.0f)),
+               std::invalid_argument);
+}
+
+TEST(SharedFeatures, MaskedModelStillClassifies) {
+  // Applying the shared-feature mask must not collapse accuracy (the paper's
+  // anticipated trade-off: discard shared features, keep enough information).
+  auto& model = *setup().model;
+  const double before = train::evaluate_clean(model, setup().data.test, 100);
+  const auto report = core::analyze_shared_features(model, setup().data.train);
+  model.set_channel_mask(core::shared_feature_mask(report, 0.10f));
+  const double after = train::evaluate_clean(model, setup().data.test, 100);
+  model.clear_channel_mask();
+  EXPECT_GT(after, before - 0.25);
+}
+
+}  // namespace
+}  // namespace ibrar

@@ -1,0 +1,207 @@
+// Model architectures: tap contracts, channel masks, output shapes,
+// determinism, registry, VIB noise injection.
+
+#include <gtest/gtest.h>
+
+#include "models/mlp.hpp"
+#include "models/registry.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
+#include "models/wideresnet.hpp"
+#include "tensor/random.hpp"
+
+namespace ibrar::models {
+namespace {
+
+Tensor test_images(std::int64_t n = 2, std::int64_t size = 16) {
+  Rng rng(21);
+  return rand_uniform({n, 3, size, size}, rng);
+}
+
+class ModelSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelSweep, ForwardShapesAndTaps) {
+  Rng rng(1);
+  ModelSpec spec;
+  spec.name = GetParam();
+  auto model = make_model(spec, rng);
+  model->set_training(false);
+  auto out = model->forward_with_taps(ag::Var::constant(test_images()));
+  EXPECT_EQ(out.logits.shape(), (Shape{2, 10}));
+  EXPECT_EQ(out.taps.size(), model->tap_names().size());
+  for (const auto& t : out.taps) {
+    EXPECT_EQ(t.shape()[0], 2);
+    EXPECT_TRUE(t.value().all_finite());
+  }
+}
+
+TEST_P(ModelSweep, DeterministicGivenSeed) {
+  ModelSpec spec;
+  spec.name = GetParam();
+  Rng r1(7), r2(7);
+  auto a = make_model(spec, r1);
+  auto b = make_model(spec, r2);
+  a->set_training(false);
+  b->set_training(false);
+  const Tensor x = test_images();
+  const Tensor ya = a->forward(ag::Var::constant(x)).value();
+  const Tensor yb = b->forward(ag::Var::constant(x)).value();
+  for (std::int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST_P(ModelSweep, ChannelMaskZeroesChannels) {
+  Rng rng(3);
+  ModelSpec spec;
+  spec.name = GetParam();
+  auto model = make_model(spec, rng);
+  model->set_training(false);
+  const auto c = model->last_conv_channels();
+  Tensor mask({c}, 1.0f);
+  mask[0] = 0.0f;  // drop first channel
+  model->set_channel_mask(mask);
+  auto out = model->forward_with_taps(ag::Var::constant(test_images()));
+  const Tensor& feat = out.taps.at(model->last_conv_tap_index()).value();
+  // Channel 0 of the masked tap must be exactly zero for all samples.
+  const auto spatial = feat.rank() == 4 ? feat.dim(2) * feat.dim(3) : 1;
+  for (std::int64_t i = 0; i < feat.dim(0); ++i) {
+    for (std::int64_t k = 0; k < spatial; ++k) {
+      EXPECT_FLOAT_EQ(feat.data()[(i * c + 0) * spatial + k], 0.0f);
+    }
+  }
+}
+
+TEST_P(ModelSweep, MaskChangesLogits) {
+  Rng rng(4);
+  ModelSpec spec;
+  spec.name = GetParam();
+  auto model = make_model(spec, rng);
+  model->set_training(false);
+  const Tensor x = test_images();
+  const Tensor before = model->forward(ag::Var::constant(x)).value();
+  Tensor mask({model->last_conv_channels()}, 1.0f);
+  for (std::int64_t i = 0; i < mask.numel(); i += 2) mask[i] = 0.0f;
+  model->set_channel_mask(mask);
+  const Tensor after = model->forward(ag::Var::constant(x)).value();
+  double diff = 0;
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    diff += std::fabs(before[i] - after[i]);
+  }
+  EXPECT_GT(diff, 1e-4);
+  model->clear_channel_mask();
+  const Tensor restored = model->forward(ag::Var::constant(x)).value();
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], restored[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, ModelSweep,
+                         ::testing::Values("vgg16", "resnet18", "wrn28", "mlp"));
+
+TEST(VGG, TapNamesMatchPaperStructure) {
+  Rng rng(5);
+  VGGConfig cfg;
+  MiniVGG vgg(cfg, rng);
+  const auto& names = vgg.tap_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "conv_block1");
+  EXPECT_EQ(names[4], "conv_block5");
+  EXPECT_EQ(names[5], "fc1");
+  EXPECT_EQ(names[6], "fc2");
+  EXPECT_EQ(vgg.last_conv_tap_index(), 4u);
+}
+
+TEST(VGG, RejectsWrongBlockCount) {
+  Rng rng(6);
+  VGGConfig cfg;
+  cfg.channels = {8, 8};
+  EXPECT_THROW(MiniVGG(cfg, rng), std::invalid_argument);
+}
+
+TEST(VGG, MaskValidation) {
+  Rng rng(7);
+  VGGConfig cfg;
+  MiniVGG vgg(cfg, rng);
+  EXPECT_THROW(vgg.set_channel_mask(Tensor({3}, 1.0f)), std::invalid_argument);
+}
+
+TEST(ResNet, DownsamplingStages) {
+  Rng rng(8);
+  ResNetConfig cfg;
+  MiniResNet net(cfg, rng);
+  net.set_training(false);
+  auto out = net.forward_with_taps(ag::Var::constant(test_images()));
+  // Stages: 16 -> 8 -> 4 -> 2 spatial.
+  EXPECT_EQ(out.taps[0].shape()[2], 16);
+  EXPECT_EQ(out.taps[1].shape()[2], 8);
+  EXPECT_EQ(out.taps[2].shape()[2], 4);
+  EXPECT_EQ(out.taps[3].shape()[2], 2);
+  EXPECT_EQ(out.taps[4].shape(), (Shape{2, cfg.channels.back()}));
+}
+
+TEST(WRN, GroupWidthsFollowWidenFactor) {
+  Rng rng(9);
+  WRNConfig cfg;
+  MiniWRN net(cfg, rng);
+  net.set_training(false);
+  auto out = net.forward_with_taps(ag::Var::constant(test_images()));
+  EXPECT_EQ(out.taps[0].shape()[1], cfg.base_width * cfg.widen);
+  EXPECT_EQ(out.taps[2].shape()[1], cfg.base_width * cfg.widen * 4);
+  EXPECT_EQ(net.last_conv_channels(), cfg.base_width * cfg.widen * 4);
+}
+
+TEST(MLPModel, FlattensImages) {
+  Rng rng(10);
+  MLPConfig cfg;
+  cfg.in_features = 3 * 16 * 16;
+  MLP mlp(cfg, rng);
+  mlp.set_training(false);
+  EXPECT_EQ(mlp.forward(ag::Var::constant(test_images())).shape(),
+            (Shape{2, 10}));
+}
+
+TEST(Registry, UnknownNameThrows) {
+  Rng rng(11);
+  ModelSpec spec;
+  spec.name = "alexnet";
+  EXPECT_THROW(make_model(spec, rng), std::invalid_argument);
+  EXPECT_THROW(default_robust_layers("alexnet"), std::invalid_argument);
+}
+
+TEST(Registry, DefaultRobustLayers) {
+  const auto v = default_robust_layers("vgg16");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "conv_block5");
+  EXPECT_EQ(default_robust_layers("resnet18").back(), "gap");
+}
+
+TEST(VIBNoise, InjectedOnlyInTraining) {
+  Rng rng(12);
+  ModelSpec spec;
+  auto model = make_model(spec, rng);
+  model->set_penultimate_noise(0.5f);
+  const Tensor x = test_images();
+  model->set_training(false);
+  const Tensor a = model->forward(ag::Var::constant(x)).value();
+  const Tensor b = model->forward(ag::Var::constant(x)).value();
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+  model->set_training(true);
+  const Tensor c = model->forward(ag::Var::constant(x)).value();
+  const Tensor d = model->forward(ag::Var::constant(x)).value();
+  double diff = 0;
+  for (std::int64_t i = 0; i < c.numel(); ++i) diff += std::fabs(c[i] - d[i]);
+  EXPECT_GT(diff, 1e-5);  // dropout + noise make training forwards stochastic
+}
+
+TEST(ModelParams, ReasonableParameterCounts) {
+  Rng rng(13);
+  for (const char* name : {"vgg16", "resnet18", "wrn28"}) {
+    ModelSpec spec;
+    spec.name = name;
+    auto model = make_model(spec, rng);
+    EXPECT_GT(model->num_parameters(), 5000) << name;
+    EXPECT_LT(model->num_parameters(), 500000) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ibrar::models

@@ -1,0 +1,382 @@
+// Tensor layer: construction, broadcasting arithmetic, reductions, matmul,
+// im2col/conv kernels, pooling, and the broadcast-adjoint reduce_to_shape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+#include "tensor/reduce.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ibrar {
+namespace {
+
+TEST(TensorBasics, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(TensorBasics, ShapeAndFill) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(-1), 3);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(TensorBasics, FromVectorAndAt) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4);
+}
+
+TEST(TensorBasics, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(TensorBasics, ItemRequiresSingleElement) {
+  EXPECT_THROW(Tensor({2}).item(), std::logic_error);
+}
+
+TEST(TensorBasics, ReshapeWildcard) {
+  Tensor t({2, 6});
+  const Tensor r = t.reshape({3, -1});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_THROW(t.reshape({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+}
+
+TEST(TensorBasics, EyeAndArange) {
+  const Tensor e = Tensor::eye(3);
+  EXPECT_FLOAT_EQ(e.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(e.at(0, 1), 0);
+  const Tensor a = Tensor::arange(4, 1.0f, 0.5f);
+  EXPECT_FLOAT_EQ(a[3], 2.5f);
+}
+
+TEST(TensorBasics, AllFinite) {
+  Tensor t({2});
+  EXPECT_TRUE(t.all_finite());
+  t[0] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Broadcast, ShapeRules) {
+  EXPECT_EQ(broadcast_shape({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shape({2, 1}, {1, 4}), (Shape{2, 4}));
+  EXPECT_EQ(broadcast_shape({5, 1, 3}, {2, 1}), (Shape{5, 2, 3}));
+  EXPECT_THROW(broadcast_shape({2, 3}, {4}), std::invalid_argument);
+}
+
+TEST(Broadcast, AddRowVector) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3}, {10, 20, 30});
+  const Tensor c = add(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 36);
+}
+
+TEST(Broadcast, AddColVsRow) {
+  Tensor col({3, 1}, {1, 2, 3});
+  Tensor row({1, 3}, {10, 20, 30});
+  const Tensor c = add(col, row);
+  EXPECT_EQ(c.shape(), (Shape{3, 3}));
+  EXPECT_FLOAT_EQ(c.at(2, 1), 23);
+}
+
+TEST(Broadcast, ChannelBiasNCHW) {
+  Tensor x({2, 3, 2, 2}, 1.0f);
+  Tensor bias({1, 3, 1, 1}, {10, 20, 30});
+  const Tensor y = add(x, bias);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 11);
+  EXPECT_FLOAT_EQ(y.at(1, 2, 1, 1), 31);
+}
+
+TEST(Broadcast, ReduceToShapeIsAdjoint) {
+  // reduce_to_shape(sum) over the broadcast dims recovers d(broadcast)/dx.
+  Tensor g({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = reduce_to_shape(g, {3});
+  EXPECT_EQ(r.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(r[0], 5);
+  EXPECT_FLOAT_EQ(r[1], 7);
+  EXPECT_FLOAT_EQ(r[2], 9);
+
+  const Tensor r2 = reduce_to_shape(g, {2, 1});
+  EXPECT_FLOAT_EQ(r2.at(0, 0), 6);
+  EXPECT_FLOAT_EQ(r2.at(1, 0), 15);
+}
+
+TEST(Elementwise, UnaryMaps) {
+  Tensor a({4}, {-1.0f, 0.0f, 1.0f, 2.0f});
+  EXPECT_FLOAT_EQ(relu(a)[0], 0.0f);
+  EXPECT_FLOAT_EQ(relu(a)[3], 2.0f);
+  EXPECT_FLOAT_EQ(sign(a)[0], -1.0f);
+  EXPECT_FLOAT_EQ(sign(a)[1], 0.0f);
+  EXPECT_FLOAT_EQ(abs(a)[0], 1.0f);
+  EXPECT_NEAR(sigmoid(a)[1], 0.5f, 1e-6);
+  EXPECT_NEAR(tanh(a)[2], std::tanh(1.0f), 1e-6);
+  EXPECT_FLOAT_EQ(square(a)[3], 4.0f);
+  EXPECT_FLOAT_EQ(clamp(a, -0.5f, 1.5f)[0], -0.5f);
+  EXPECT_FLOAT_EQ(clamp(a, -0.5f, 1.5f)[3], 1.5f);
+}
+
+TEST(Elementwise, LogClampsAtZero) {
+  Tensor a({2}, {0.0f, 1.0f});
+  const Tensor l = log(a);
+  EXPECT_TRUE(std::isfinite(l[0]));
+  EXPECT_FLOAT_EQ(l[1], 0.0f);
+}
+
+TEST(Elementwise, ScalarFolds) {
+  Tensor a({3}, {1, 2, 3});
+  EXPECT_FLOAT_EQ(sum_all(a), 6);
+  EXPECT_FLOAT_EQ(mean_all(a), 2);
+  EXPECT_FLOAT_EQ(max_all(a), 3);
+  EXPECT_FLOAT_EQ(min_all(a), 1);
+  EXPECT_FLOAT_EQ(l2_norm(a), std::sqrt(14.0f));
+  EXPECT_FLOAT_EQ(linf_norm(a), 3);
+  Tensor b({3}, {1, 0, -1});
+  EXPECT_FLOAT_EQ(dot(a, b), -2);
+}
+
+TEST(Matmul, SmallKnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(5);
+  const Tensor a = randn({4, 6}, rng);
+  const Tensor b = randn({4, 3}, rng);
+  // matmul_tn(a, b) == a^T b
+  const Tensor ref = matmul(transpose2d(a), b);
+  const Tensor out = matmul_tn(a, b);
+  for (std::int64_t i = 0; i < ref.numel(); ++i) EXPECT_NEAR(out[i], ref[i], 1e-4);
+
+  const Tensor c = randn({5, 6}, rng);
+  const Tensor ref2 = matmul(a, transpose2d(c));
+  const Tensor out2 = matmul_nt(a, c);
+  for (std::int64_t i = 0; i < ref2.numel(); ++i) EXPECT_NEAR(out2[i], ref2[i], 1e-4);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+}
+
+TEST(Reduce, SumMeanAxis) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor s0 = sum_axis(a, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(s0[0], 5);
+  const Tensor s1 = sum_axis(a, 1, true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(s1.at(1, 0), 15);
+  const Tensor m1 = mean_axis(a, -1);
+  EXPECT_FLOAT_EQ(m1[0], 2);
+  EXPECT_FLOAT_EQ(m1[1], 5);
+}
+
+TEST(Reduce, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  const Tensor a = randn({5, 7}, rng, 0, 3);
+  const Tensor s = softmax_rows(a);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double total = 0;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0f);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Reduce, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(2);
+  const Tensor a = randn({3, 4}, rng, 0, 2);
+  const Tensor ls = log_softmax_rows(a);
+  const Tensor s = softmax_rows(a);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(s[i]), 1e-5);
+  }
+}
+
+TEST(Reduce, ArgmaxRows) {
+  Tensor a({2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Reduce, PairwiseSqDists) {
+  Tensor a({3, 2}, {0, 0, 3, 4, 0, 1});
+  const Tensor d = pairwise_sq_dists(a);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 25);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 25);
+  EXPECT_FLOAT_EQ(d.at(0, 2), 1);
+  EXPECT_FLOAT_EQ(d.at(1, 2), 18);
+}
+
+TEST(Conv, OutDim) {
+  EXPECT_EQ(conv_out_dim(16, 3, 1, 1), 16);
+  EXPECT_EQ(conv_out_dim(16, 3, 2, 1), 8);
+  EXPECT_EQ(conv_out_dim(4, 1, 1, 0), 4);
+}
+
+TEST(Conv, IdentityKernelPreservesInput) {
+  // 1x1 kernel of value 1 on a single channel copies the image.
+  Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w({1, 1, 1, 1}, {1.0f});
+  const Tensor y = conv2d(x, w, nullptr, {1, 1, 0});
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv, KnownSmallConvolution) {
+  // 2x2 image, 3x3 sum kernel with pad 1: each output = sum of in-bounds
+  // neighbours.
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor w({1, 1, 3, 3}, std::vector<float>(9, 1.0f));
+  const Tensor y = conv2d(x, w, nullptr, {3, 1, 1});
+  // Every output position covers the whole 2x2 image.
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], 10.0f);
+}
+
+TEST(Conv, BiasIsAddedPerFilter) {
+  Tensor x({1, 1, 2, 2}, 0.0f);
+  Tensor w({2, 1, 1, 1}, {1.0f, 1.0f});
+  Tensor b({2}, {5.0f, -3.0f});
+  const Tensor y = conv2d(x, w, &b, {1, 1, 0});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -3.0f);
+}
+
+TEST(Conv, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), c> == <x, col2im(c)> for random x, c (adjoint identity).
+  Rng rng(3);
+  const Conv2dSpec spec{3, 1, 1};
+  const Tensor x = randn({2, 3, 5, 5}, rng);
+  const Tensor cols = im2col(x, spec);
+  const Tensor c = randn(cols.shape(), rng);
+  const Tensor back = col2im(c, x.shape(), spec);
+  EXPECT_NEAR(dot(cols, c), dot(x, back), 1e-2);
+}
+
+TEST(Pool, MaxPoolValuesAndArgmax) {
+  Tensor x({1, 1, 4, 4},
+           {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  const auto r = maxpool2d(x, 2, 2);
+  EXPECT_EQ(r.out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(r.out.at(0, 0, 0, 0), 6);
+  EXPECT_FLOAT_EQ(r.out.at(0, 0, 1, 1), 16);
+  // Gradient routes only to the argmax entries.
+  Tensor g({1, 1, 2, 2}, 1.0f);
+  const Tensor gx = maxpool2d_backward(g, x.shape(), r.argmax);
+  EXPECT_FLOAT_EQ(gx[5], 1.0f);   // value 6
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[15], 1.0f);  // value 16
+}
+
+TEST(Pool, GlobalAvgPool) {
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = global_avg_pool(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 25.0f);
+  const Tensor g = Tensor({1, 2}, {4.0f, 8.0f});
+  const Tensor gx = global_avg_pool_backward(g, x.shape());
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[4], 2.0f);
+}
+
+TEST(ShapeUtils, TakeRowsAndConcat) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor t = take_rows(a, {2, 0});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 5);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 2);
+  const Tensor c = concat_rows({a, t});
+  EXPECT_EQ(c.shape(), (Shape{5, 2}));
+  EXPECT_FLOAT_EQ(c.at(4, 1), 2);
+  EXPECT_THROW(take_rows(a, {3}), std::out_of_range);
+}
+
+TEST(ShapeUtils, OneHot) {
+  const Tensor oh = one_hot({1, 0, 2}, 3);
+  EXPECT_EQ(oh.shape(), (Shape{3, 3}));
+  EXPECT_FLOAT_EQ(oh.at(0, 1), 1);
+  EXPECT_FLOAT_EQ(oh.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(oh.at(2, 2), 1);
+  EXPECT_THROW(one_hot({3}, 3), std::out_of_range);
+}
+
+TEST(RandomTensors, Deterministic) {
+  Rng a(9), b(9);
+  const Tensor x = randn({8}, a);
+  const Tensor y = randn({8}, b);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(x[i], y[i]);
+}
+
+TEST(RandomTensors, UniformRange) {
+  Rng rng(4);
+  const Tensor u = rand_uniform({1000}, rng, -0.5f, 0.5f);
+  EXPECT_GE(min_all(u), -0.5f);
+  EXPECT_LE(max_all(u), 0.5f);
+  EXPECT_NEAR(mean_all(u), 0.0f, 0.05f);
+}
+
+TEST(RandomTensors, SignsAreUnitMagnitude) {
+  Rng rng(4);
+  const Tensor s = rand_sign({100}, rng);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(std::fabs(s[i]), 1.0f);
+  }
+}
+
+// Parameterized sweep: broadcasting of binary ops across shape pairs.
+struct BroadcastCase {
+  Shape a;
+  Shape b;
+  Shape expect;
+};
+
+class BroadcastSweep : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastSweep, MulMatchesManual) {
+  const auto& c = GetParam();
+  Rng rng(11);
+  const Tensor a = randn(c.a, rng);
+  const Tensor b = randn(c.b, rng);
+  const Tensor out = mul(a, b);
+  ASSERT_EQ(out.shape(), c.expect);
+  // Verify against explicit broadcast_to.
+  const Tensor ax = broadcast_to(a, c.expect);
+  const Tensor bx = broadcast_to(b, c.expect);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out[i], ax[i] * bx[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastSweep,
+    ::testing::Values(BroadcastCase{{2, 3}, {2, 3}, {2, 3}},
+                      BroadcastCase{{2, 3}, {3}, {2, 3}},
+                      BroadcastCase{{2, 1}, {1, 5}, {2, 5}},
+                      BroadcastCase{{4, 1, 3}, {2, 3}, {4, 2, 3}},
+                      BroadcastCase{{1}, {3, 2}, {3, 2}},
+                      BroadcastCase{{2, 3, 1, 1}, {1, 3, 2, 2}, {2, 3, 2, 2}}));
+
+}  // namespace
+}  // namespace ibrar

@@ -1,0 +1,178 @@
+// Utilities: RNG determinism/forking, env parsing, table formatting,
+// serialization format, stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace ibrar {
+namespace {
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, SeedResetsStream) {
+  Rng a(1);
+  const float first = a.uniform();
+  a.uniform();
+  a.seed(1);
+  EXPECT_FLOAT_EQ(a.uniform(), first);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(RngTest, RandintInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.randint(-1, 1);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, 1);
+    saw_lo = saw_lo || v == -1;
+    saw_hi = saw_hi || v == 1;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double s = 0, s2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0f, 2.0f);
+    s += v;
+    s2 += v * v;
+  }
+  EXPECT_NEAR(s / n, 1.0, 0.1);
+  EXPECT_NEAR(s2 / n - (s / n) * (s / n), 4.0, 0.3);
+}
+
+TEST(RngTest, PermutationIsBijection) {
+  Rng rng(10);
+  const auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (const auto v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng parent(11);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    differs = differs || c1.uniform() != c2.uniform();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EnvTest, TypedGettersWithFallback) {
+  unsetenv("IBRAR_TEST_ENV");
+  EXPECT_EQ(env::get_int("IBRAR_TEST_ENV", 7), 7);
+  EXPECT_DOUBLE_EQ(env::get_double("IBRAR_TEST_ENV", 1.5), 1.5);
+  EXPECT_EQ(env::get_string("IBRAR_TEST_ENV", "x"), "x");
+  setenv("IBRAR_TEST_ENV", "42", 1);
+  EXPECT_EQ(env::get_int("IBRAR_TEST_ENV", 7), 42);
+  setenv("IBRAR_TEST_ENV", "not_a_number", 1);
+  EXPECT_EQ(env::get_int("IBRAR_TEST_ENV", 7), 7);
+  unsetenv("IBRAR_TEST_ENV");
+}
+
+TEST(EnvTest, ScaledIntRespectsOverride) {
+  setenv("IBRAR_TEST_SCALED", "99", 1);
+  EXPECT_EQ(env::scaled_int("IBRAR_TEST_SCALED", 1, 2), 99);
+  unsetenv("IBRAR_TEST_SCALED");
+  const long v = env::scaled_int("IBRAR_TEST_SCALED", 1, 2);
+  EXPECT_TRUE(v == 1 || v == 2);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a  | long_header |"), std::string::npos);
+  EXPECT_NE(s.find("| xx | 1           |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TableTest, NumberFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::vs_paper(12.3, 45.6, 1), "12.3 (paper 45.6)");
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  const std::string path = "/tmp/ibrar_test_serialize.bin";
+  std::vector<serialize::NamedBlob> blobs = {
+      {"w", {2, 3}, {1, 2, 3, 4, 5, 6}},
+      {"b", {3}, {0.5f, -0.5f, 0.0f}},
+  };
+  serialize::save(path, blobs);
+  const auto loaded = serialize::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "w");
+  EXPECT_EQ(loaded[0].shape, (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(loaded[0].data, blobs[0].data);
+  EXPECT_EQ(loaded[1].name, "b");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsCorruptMagic) {
+  const std::string path = "/tmp/ibrar_test_corrupt.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage-not-a-checkpoint", f);
+  std::fclose(f);
+  EXPECT_THROW(serialize::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(serialize::load("/tmp/ibrar_does_not_exist.bin"),
+               std::runtime_error);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  double x = 0;
+  for (int i = 0; i < 1000000; ++i) x += i;
+  
+  EXPECT_GT(sw.seconds(), 0.0);
+  const double t = sw.reset();
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(sw.seconds(), t + 1.0);
+  (void)x;
+}
+
+}  // namespace
+}  // namespace ibrar
