@@ -1,16 +1,28 @@
 // Microbenchmarks (google-benchmark): the kernels that dominate the
 // reproduction's wall-clock — GEMM, conv2d forward/backward via autograd,
 // HSIC, full model forward, and one PGD attack step.
+//
+// Before the google-benchmark suite, main() prints a thread-scaling table:
+// each kernel at 1 pool lane vs IBRAR_BENCH_THREADS (default
+// hardware_concurrency) lanes, asserting the outputs are bit-identical.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
 
 #include "autograd/ops.hpp"
 #include "attacks/pgd.hpp"
 #include "data/registry.hpp"
 #include "mi/hsic.hpp"
 #include "models/registry.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/random.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 using namespace ibrar;
 
@@ -111,4 +123,85 @@ static void BM_PGDStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PGDStep);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Best-of-reps wall time of fn() in milliseconds.
+template <typename F>
+double time_ms(F&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds() * 1e3);
+  }
+  return best;
+}
+
+/// One row of the scaling table: run `work` (returning a checksum tensor) at
+/// 1 lane and at `threads` lanes, report the speedup and bit-equality.
+template <typename F>
+void scaling_row(Table& table, const char* name, std::int64_t threads, F&& work) {
+  runtime::set_num_threads(1);
+  Tensor ref;
+  const double t1 = time_ms([&] { ref = work(); });
+  runtime::set_num_threads(threads);
+  Tensor par;
+  const double tn = time_ms([&] { par = work(); });
+  bool identical = ref.same_shape(par);
+  if (identical) {
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      if (ref[i] != par[i]) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  char t1s[32], tns[32], sp[32];
+  std::snprintf(t1s, sizeof(t1s), "%.2f", t1);
+  std::snprintf(tns, sizeof(tns), "%.2f", tn);
+  std::snprintf(sp, sizeof(sp), "%.2fx", tn > 0 ? t1 / tn : 0.0);
+  table.add_row({name, t1s, tns, sp, identical ? "yes" : "NO"});
+}
+
+void print_scaling_table() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  const std::int64_t threads = env::get_int(
+      "IBRAR_BENCH_THREADS", hc == 0 ? 4 : static_cast<long>(hc));
+  std::printf("=== runtime thread scaling (1 vs %lld lanes) ===\n",
+              static_cast<long long>(threads));
+
+  Rng rng(42);
+  const Tensor a = randn({384, 384}, rng);
+  const Tensor b = randn({384, 384}, rng);
+  const Tensor cx = randn({32, 8, 16, 16}, rng);
+  const Tensor cw = randn({16, 8, 3, 3}, rng, 0, 0.1f);
+  const Conv2dSpec spec{3, 1, 1};
+  const Tensor hx = randn({200, 64}, rng);
+  const Tensor hy = randn({200, 10}, rng);
+  const Tensor ex = rand_uniform({1 << 20}, rng, -4.0f, 4.0f);
+
+  Table table({"kernel", "t1 (ms)", "tN (ms)", "speedup", "bit-identical"});
+  scaling_row(table, "gemm 384^3", threads, [&] { return matmul(a, b); });
+  scaling_row(table, "conv2d 32x8x16x16", threads,
+              [&] { return conv2d(cx, cw, nullptr, spec); });
+  scaling_row(table, "hsic m=200", threads, [&] {
+    return Tensor::scalar(mi::hsic_gaussian(hx, hy));
+  });
+  scaling_row(table, "exp 1M", threads, [&] { return ibrar::exp(ex); });
+  table.print();
+  std::printf("\n");
+
+  // Leave the pool at the benched width for the google-benchmark suite.
+  runtime::set_num_threads(threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "attacks/attack.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/reduce.hpp"
 
 namespace ibrar::attacks {
@@ -35,11 +37,36 @@ Tensor input_gradient(models::TapClassifier& model, const Tensor& x,
 void project_linf(Tensor& adv, const Tensor& x, float eps, float lo, float hi) {
   auto pa = adv.data();
   const auto px = x.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    const float low = std::max(px[i] - eps, lo);
-    const float high = std::min(px[i] + eps, hi);
-    pa[i] = std::min(std::max(pa[i], low), high);
-  }
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          const float low = std::max(px[u] - eps, lo);
+          const float high = std::min(px[u] + eps, hi);
+          pa[u] = std::min(std::max(pa[u], low), high);
+        }
+      });
+}
+
+std::vector<float> margin_loss(const Tensor& logits,
+                               const std::vector<std::int64_t>& y) {
+  const auto n = logits.dim(0), c = logits.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  runtime::parallel_for(
+      0, n, runtime::grain_for(c),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float best_other = -std::numeric_limits<float>::infinity();
+          for (std::int64_t j = 0; j < c; ++j) {
+            if (j == y[static_cast<std::size_t>(i)]) continue;
+            best_other = std::max(best_other, logits.at(i, j));
+          }
+          out[static_cast<std::size_t>(i)] =
+              logits.at(i, y[static_cast<std::size_t>(i)]) - best_other;
+        }
+      });
+  return out;
 }
 
 std::vector<std::int64_t> predict(models::TapClassifier& model, const Tensor& x) {

@@ -20,6 +20,7 @@ struct AttackConfig {
   float eps = 8.0f / 255.0f;    ///< Linf radius (CW interprets it loosely)
   float alpha = 2.0f / 255.0f;  ///< per-step size
   std::int64_t steps = 10;
+  std::int64_t restarts = 1;    ///< PGD random restarts (keep best margin)
   float clip_lo = 0.0f;
   float clip_hi = 1.0f;
   bool random_start = true;     ///< PGD-style random init in the eps-ball
@@ -66,6 +67,11 @@ Tensor input_gradient(models::TapClassifier& model, const Tensor& x,
 
 /// Clip `adv` to the Linf eps-ball around `x` and to [lo, hi], in place.
 void project_linf(Tensor& adv, const Tensor& x, float eps, float lo, float hi);
+
+/// Per-sample margin z_y - max_{j != y} z_j of a logits batch (negative means
+/// misclassified). Shared by the margin-driven attacks (Square, PGD restarts).
+std::vector<float> margin_loss(const Tensor& logits,
+                               const std::vector<std::int64_t>& y);
 
 /// Predicted class per row of a (possibly adversarial) batch (no grad).
 std::vector<std::int64_t> predict(models::TapClassifier& model, const Tensor& x);

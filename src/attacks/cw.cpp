@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
 
@@ -40,10 +41,13 @@ Tensor CW::perturb(models::TapClassifier& model, const Tensor& x,
   // w leaf with x = 0.5*(tanh(w)+1); shrink toward the interior so atanh is
   // finite at the boundary values 0 and 1.
   Tensor w0(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float xi = std::min(std::max(x[i], 0.0f), 1.0f);
-    w0[i] = std::atanh((2.0f * xi - 1.0f) * 0.999999f);
-  }
+  runtime::parallel_for(0, x.numel(), runtime::kElementwiseGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float xi = std::min(std::max(x[i], 0.0f), 1.0f);
+      w0[i] = std::atanh((2.0f * xi - 1.0f) * 0.999999f);
+    }
+  });
   ag::Var w = ag::Var::param(w0);
 
   // Adam state.
@@ -71,35 +75,44 @@ Tensor CW::perturb(models::TapClassifier& model, const Tensor& x,
     loss.backward();
 
     // Track best (lowest-L2 successful) adversarial example per sample.
+    // Per-example batch loop: the L2 distances and copy-backs touch disjoint
+    // rows, so examples split across the pool.
     const Tensor adv_now = adv.value();
     const auto pred = argmax_rows(logits.value());
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (pred[static_cast<std::size_t>(i)] == y[static_cast<std::size_t>(i)]) {
-        continue;
+    runtime::parallel_for(
+        0, n, runtime::grain_for(img),
+        [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        if (pred[static_cast<std::size_t>(i)] == y[static_cast<std::size_t>(i)]) {
+          continue;
+        }
+        double l2 = 0.0;
+        for (std::int64_t k = 0; k < img; ++k) {
+          const double d = adv_now[i * img + k] - x[i * img + k];
+          l2 += d * d;
+        }
+        if (l2 < best_l2[static_cast<std::size_t>(i)]) {
+          best_l2[static_cast<std::size_t>(i)] = static_cast<float>(l2);
+          std::copy_n(adv_now.data().begin() + i * img, img,
+                      best_adv.data().begin() + i * img);
+        }
       }
-      double l2 = 0.0;
-      for (std::int64_t k = 0; k < img; ++k) {
-        const double d = adv_now[i * img + k] - x[i * img + k];
-        l2 += d * d;
-      }
-      if (l2 < best_l2[static_cast<std::size_t>(i)]) {
-        best_l2[static_cast<std::size_t>(i)] = static_cast<float>(l2);
-        std::copy_n(adv_now.data().begin() + i * img, img,
-                    best_adv.data().begin() + i * img);
-      }
-    }
+    });
 
     // Adam update on w.
     const Tensor& g = w.grad();
     const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step + 1));
     const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step + 1));
-    for (std::int64_t i = 0; i < w0.numel(); ++i) {
-      m_t[i] = b1 * m_t[i] + (1 - b1) * g[i];
-      v_t[i] = b2 * v_t[i] + (1 - b2) * g[i] * g[i];
-      const float mhat = m_t[i] / bc1;
-      const float vhat = v_t[i] / bc2;
-      w.mutable_value()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_adam);
-    }
+    runtime::parallel_for(0, w0.numel(), runtime::kElementwiseGrain,
+                          [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        m_t[i] = b1 * m_t[i] + (1 - b1) * g[i];
+        v_t[i] = b2 * v_t[i] + (1 - b2) * g[i] * g[i];
+        const float mhat = m_t[i] / bc1;
+        const float vhat = v_t[i] / bc2;
+        w.mutable_value()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_adam);
+      }
+    });
   }
 
   // Samples never fooled keep their final iterate (standard CW behaviour).

@@ -3,28 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
 
 namespace ibrar::attacks {
 namespace {
-
-/// Margin loss per sample: z_y - max_{j != y} z_j (negative = misclassified).
-std::vector<float> margins(const Tensor& logits,
-                           const std::vector<std::int64_t>& y) {
-  const auto n = logits.dim(0), c = logits.dim(1);
-  std::vector<float> out(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    float best_other = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < c; ++j) {
-      if (j == y[static_cast<std::size_t>(i)]) continue;
-      best_other = std::max(best_other, logits.at(i, j));
-    }
-    out[static_cast<std::size_t>(i)] =
-        logits.at(i, y[static_cast<std::size_t>(i)]) - best_other;
-  }
-  return out;
-}
 
 /// Square side length schedule from the remaining query budget (coarse
 /// version of the original's p-schedule).
@@ -37,6 +21,13 @@ std::int64_t side_for_step(std::int64_t step, std::int64_t steps, float p_init,
   return std::clamp<std::int64_t>(side, 1, hw);
 }
 
+/// One proposed square per still-unfooled example.
+struct Patch {
+  std::int64_t example;
+  std::int64_t oy, ox;
+  std::vector<float> sign;  ///< +/-eps per channel
+};
+
 }  // namespace
 
 Tensor SquareAttack::perturb(models::TapClassifier& model, const Tensor& x,
@@ -45,51 +36,84 @@ Tensor SquareAttack::perturb(models::TapClassifier& model, const Tensor& x,
   ag::NoGradGuard ng;  // fully black-box: forward passes only
   const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
 
-  // Init: vertical +/-eps stripes (as in the reference implementation).
+  // Init: vertical +/-eps stripes (as in the reference implementation). The
+  // Bernoulli draws happen serially in the original (i, ic, xw) order so the
+  // RNG stream is thread-count independent; painting then fans out per image.
   Tensor adv = x;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      for (std::int64_t xw = 0; xw < w; ++xw) {
-        const float s = rng_.bernoulli(0.5) ? cfg_.eps : -cfg_.eps;
-        for (std::int64_t yh = 0; yh < h; ++yh) adv.at(i, ic, yh, xw) += s;
+  std::vector<float> stripe(static_cast<std::size_t>(n * c * w));
+  for (auto& s : stripe) s = rng_.bernoulli(0.5) ? cfg_.eps : -cfg_.eps;
+  runtime::parallel_for(0, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        for (std::int64_t xw = 0; xw < w; ++xw) {
+          const float s = stripe[static_cast<std::size_t>((i * c + ic) * w + xw)];
+          for (std::int64_t yh = 0; yh < h; ++yh) adv.at(i, ic, yh, xw) += s;
+        }
       }
     }
-  }
+  });
   project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
 
   auto forward_margins = [&](const Tensor& imgs) {
-    return margins(model.forward(ag::Var::constant(imgs)).value(), y);
+    return margin_loss(model.forward(ag::Var::constant(imgs)).value(), y);
   };
   std::vector<float> best = forward_margins(adv);
 
   Tensor proposal = adv;
+  std::vector<Patch> patches;
+  patches.reserve(static_cast<std::size_t>(n));
   for (std::int64_t step = 0; step < cfg_.steps; ++step) {
     const auto side = side_for_step(step, cfg_.steps, p_init_, std::min(h, w));
-    proposal = adv;
+
+    // Draw every proposal serially (same order as the serial loop), then
+    // paint the independent per-example squares on the pool.
+    patches.clear();
     for (std::int64_t i = 0; i < n; ++i) {
       if (best[static_cast<std::size_t>(i)] < 0) continue;  // already fooled
-      const auto oy = rng_.randint(0, h - side);
-      const auto ox = rng_.randint(0, w - side);
+      Patch p;
+      p.example = i;
+      p.oy = rng_.randint(0, h - side);
+      p.ox = rng_.randint(0, w - side);
+      p.sign.resize(static_cast<std::size_t>(c));
       for (std::int64_t ic = 0; ic < c; ++ic) {
-        const float s = rng_.bernoulli(0.5) ? cfg_.eps : -cfg_.eps;
-        for (std::int64_t yy = 0; yy < side; ++yy) {
-          for (std::int64_t xx = 0; xx < side; ++xx) {
-            proposal.at(i, ic, oy + yy, ox + xx) =
-                x.at(i, ic, oy + yy, ox + xx) + s;
-          }
-        }
+        p.sign[static_cast<std::size_t>(ic)] =
+            rng_.bernoulli(0.5) ? cfg_.eps : -cfg_.eps;
       }
+      patches.push_back(std::move(p));
     }
+
+    proposal = adv;
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(patches.size()), 1,
+        [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t pi = p0; pi < p1; ++pi) {
+            const Patch& p = patches[static_cast<std::size_t>(pi)];
+            for (std::int64_t ic = 0; ic < c; ++ic) {
+              const float s = p.sign[static_cast<std::size_t>(ic)];
+              for (std::int64_t yy = 0; yy < side; ++yy) {
+                for (std::int64_t xx = 0; xx < side; ++xx) {
+                  proposal.at(p.example, ic, p.oy + yy, p.ox + xx) =
+                      x.at(p.example, ic, p.oy + yy, p.ox + xx) + s;
+                }
+              }
+            }
+          }
+        });
     project_linf(proposal, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
     const auto cand = forward_margins(proposal);
     const std::int64_t img = c * h * w;
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (cand[static_cast<std::size_t>(i)] < best[static_cast<std::size_t>(i)]) {
-        best[static_cast<std::size_t>(i)] = cand[static_cast<std::size_t>(i)];
-        std::copy_n(proposal.data().begin() + i * img, img,
-                    adv.data().begin() + i * img);
-      }
-    }
+    runtime::parallel_for(
+        0, n, runtime::grain_for(img),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            if (cand[u] < best[u]) {
+              best[u] = cand[u];
+              std::copy_n(proposal.data().begin() + i * img, img,
+                          adv.data().begin() + i * img);
+            }
+          }
+        });
   }
   return adv;
 }

@@ -1,6 +1,7 @@
 #include <stdexcept>
 
 #include "autograd/ops.hpp"
+#include "runtime/parallel_for.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
@@ -35,14 +36,16 @@ Var conv2d(const Var& x, const Var& w, const Var& bias, const Conv2dSpec& spec) 
     {
       const float* pg = n.grad.data().data();
       float* pp = gprod.data().data();
-      for (std::int64_t in_n = 0; in_n < nN; ++in_n) {
-        for (std::int64_t of = 0; of < nf; ++of) {
-          const float* plane = pg + (in_n * nf + of) * spatial;
-          for (std::int64_t s = 0; s < spatial; ++s) {
-            pp[(in_n * spatial + s) * nf + of] = plane[s];
+      ibrar::runtime::parallel_for(0, nN, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (std::int64_t in_n = n0; in_n < n1; ++in_n) {
+          for (std::int64_t of = 0; of < nf; ++of) {
+            const float* plane = pg + (in_n * nf + of) * spatial;
+            for (std::int64_t s = 0; s < spatial; ++s) {
+              pp[(in_n * spatial + s) * nf + of] = plane[s];
+            }
           }
         }
-      }
+      });
     }
     if (n.parents[0]->requires_grad) {
       const Tensor gcols = ibrar::matmul(gprod, wmat);  // (N*OH*OW, CKK)

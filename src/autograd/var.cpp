@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "runtime/parallel_for.hpp"
+
 namespace ibrar::ag {
 namespace {
 
@@ -24,7 +26,14 @@ void Node::accumulate(const Tensor& g) {
   }
   auto pg = grad.data();
   const auto ps = g.data();
-  for (std::size_t i = 0; i < pg.size(); ++i) pg[i] += ps[i];
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(pg.size()), runtime::kElementwiseGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          pg[u] += ps[u];
+        }
+      });
 }
 
 Var::Var(Tensor value, bool requires_grad) : node_(std::make_shared<Node>()) {

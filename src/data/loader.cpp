@@ -25,6 +25,8 @@ bool DataLoader::next(Batch& out) {
   if (cursor_ >= n) return false;
   const auto end = std::min(cursor_ + batch_size_, n);
   std::vector<std::int64_t> idx(order_.begin() + cursor_, order_.begin() + end);
+  // Batch assembly gathers image rows via take_rows, which splits the row
+  // copies across the runtime thread pool for wide batches.
   out = make_batch(*ds_, idx);
   cursor_ = end;
   return true;

@@ -7,6 +7,10 @@
 // incremental builds; this file exists for downstream consumers who prefer a
 // single entry point.
 
+// Parallel execution runtime
+#include "runtime/parallel_for.hpp"  // deterministic parallel_for / reduce
+#include "runtime/thread_pool.hpp"   // global pool, IBRAR_NUM_THREADS
+
 // Utilities
 #include "util/env.hpp"        // profile switches & typed env access
 #include "util/logging.hpp"    // leveled stderr logging

@@ -1,8 +1,10 @@
 #include "mi/hsic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -13,29 +15,42 @@ namespace {
 Tensor center(const Tensor& k) {
   const auto m = k.dim(0);
   // Row means, column means, grand mean: HKH = K - rowmean - colmean + grand.
+  // Rows and columns sum independently (each in ascending index order) and
+  // the grand total combines the row sums in index order, so the result is
+  // the same for any pool size.
   Tensor out(k.shape());
   std::vector<double> row_mean(static_cast<std::size_t>(m), 0.0);
   std::vector<double> col_mean(static_cast<std::size_t>(m), 0.0);
-  double grand = 0.0;
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < m; ++j) {
-      const double v = k.at(i, j);
-      row_mean[static_cast<std::size_t>(i)] += v;
-      col_mean[static_cast<std::size_t>(j)] += v;
-      grand += v;
+  const std::int64_t grain = runtime::grain_for(m);
+  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double s = 0.0;
+      for (std::int64_t j = 0; j < m; ++j) s += k.at(i, j);
+      row_mean[static_cast<std::size_t>(i)] = s;
     }
-  }
+  });
+  runtime::parallel_for(0, m, grain, [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t j = j0; j < j1; ++j) {
+      double s = 0.0;
+      for (std::int64_t i = 0; i < m; ++i) s += k.at(i, j);
+      col_mean[static_cast<std::size_t>(j)] = s;
+    }
+  });
+  double grand = 0.0;
+  for (const auto v : row_mean) grand += v;
   for (auto& v : row_mean) v /= m;
   for (auto& v : col_mean) v /= m;
   grand /= double(m) * m;
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < m; ++j) {
-      out.at(i, j) = static_cast<float>(k.at(i, j) -
-                                        row_mean[static_cast<std::size_t>(i)] -
-                                        col_mean[static_cast<std::size_t>(j)] +
-                                        grand);
+  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        out.at(i, j) = static_cast<float>(k.at(i, j) -
+                                          row_mean[static_cast<std::size_t>(i)] -
+                                          col_mean[static_cast<std::size_t>(j)] +
+                                          grand);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -60,7 +75,6 @@ ag::Var hsic(const ag::Var& kx, const ag::Var& ky) {
   // H as an explicit constant matrix: small m (a minibatch) keeps this cheap.
   Tensor h = Tensor::eye(m);
   const float inv_m = 1.0f / static_cast<float>(m);
-  for (auto& v : h.vec()) v -= 0.0f;  // identity built; subtract 1/m below
   for (std::int64_t i = 0; i < m; ++i) {
     for (std::int64_t j = 0; j < m; ++j) h.at(i, j) -= inv_m;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/reduce.hpp"
 
 namespace ibrar::mi {
@@ -31,7 +32,15 @@ Tensor gram_gaussian(const Tensor& x, float sigma) {
   Tensor k(d.shape());
   const auto pd = d.data();
   auto pk = k.data();
-  for (std::size_t i = 0; i < pd.size(); ++i) pk[i] = std::exp(pd[i] * scale);
+  // The m^2 exp() calls dominate Gram assembly for minibatch-sized m.
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(pd.size()), runtime::kElementwiseGrain / 8,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          pk[u] = std::exp(pd[u] * scale);
+        }
+      });
   return k;
 }
 

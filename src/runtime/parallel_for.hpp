@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic data-parallel primitives on top of the global ThreadPool.
+//
+// parallel_for(begin, end, grain, fn) calls fn(block_begin, block_end) over a
+// static partition of [begin, end). Use it when blocks write disjoint outputs:
+// every element is produced by exactly the same instruction sequence as the
+// serial loop, so results are bit-identical for any thread count.
+//
+// parallel_reduce chunks the range purely by `grain` — the chunk layout never
+// depends on the pool size — and combines the per-chunk partials in ascending
+// chunk order. Floating-point reductions therefore give the same bits at 1
+// thread and at N threads (though a different grain is a different grouping).
+//
+// Ranges not worth splitting (n <= grain) and nested regions run serially
+// inline; so does everything when the pool has a single lane.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace ibrar::runtime {
+
+/// Default grain for cheap per-element loops (floats per block).
+inline constexpr std::int64_t kElementwiseGrain = 1 << 14;
+
+/// Work floor below which a kernel should not fan out at all (FLOP-ish).
+inline constexpr std::int64_t kMinParallelWork = 1 << 15;
+
+/// Grain (items per block) so each block carries at least kMinParallelWork
+/// units given `per_item_work` units per item.
+inline std::int64_t grain_for(std::int64_t per_item_work) {
+  return std::max<std::int64_t>(
+      1, kMinParallelWork / std::max<std::int64_t>(1, per_item_work));
+}
+
+template <typename F>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  F&& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  // Cheap bail-outs first: the dominant small-op / nested path must not touch
+  // the global pool (global_pool() takes a mutex).
+  if (n <= g || in_parallel_region()) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  if (pool.lanes() <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t chunks =
+      std::min<std::int64_t>(pool.lanes(), (n + g - 1) / g);
+  pool.run_chunked(begin, end, chunks,
+                   std::function<void(std::int64_t, std::int64_t)>(
+                       std::forward<F>(fn)));
+}
+
+/// acc = combine(acc, map(chunk_begin, chunk_end)) over grain-sized chunks in
+/// ascending order. `map` runs in parallel; `combine` runs on the caller.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  T init, Map&& map, Combine&& combine) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return init;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (n + g - 1) / g;  // a function of grain only
+  if (chunks <= 1) return combine(std::move(init), map(begin, end));
+
+  std::vector<T> partial(static_cast<std::size_t>(chunks));
+  parallel_for(0, chunks, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      partial[static_cast<std::size_t>(c)] =
+          map(begin + c * g, std::min<std::int64_t>(end, begin + (c + 1) * g));
+    }
+  });
+  T acc = std::move(init);
+  for (auto& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace ibrar::runtime

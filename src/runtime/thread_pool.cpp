@@ -1,0 +1,140 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/env.hpp"
+
+namespace ibrar::runtime {
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+/// RAII for the nested-region flag (restores the previous value so the
+/// caller's state survives fn() throwing).
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tl_in_parallel) { tl_in_parallel = true; }
+  ~RegionGuard() { tl_in_parallel = prev; }
+};
+
+std::int64_t default_lanes() {
+  const long v = env::get_int("IBRAR_NUM_THREADS", 0);
+  if (v > 0) return static_cast<std::int64_t>(v);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::int64_t>(hc);
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+bool in_parallel_region() { return tl_in_parallel; }
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_lanes());
+  return *g_pool;
+}
+
+std::int64_t num_threads() { return global_pool().lanes(); }
+
+void set_num_threads(std::int64_t lanes) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool.reset();  // join old workers before spawning replacements
+  g_pool = std::make_unique<ThreadPool>(lanes > 0 ? lanes : default_lanes());
+}
+
+ThreadPool::ThreadPool(std::int64_t lanes) : lanes_(std::max<std::int64_t>(1, lanes)) {
+  workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+  for (std::int64_t i = 0; i < lanes_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end,
+                             std::int64_t chunks,
+                             const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  chunks = std::clamp<std::int64_t>(chunks, 1, n);
+  if (chunks == 1 || lanes_ == 1) {
+    RegionGuard rg;
+    fn(begin, end);
+    return;
+  }
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::int64_t remaining;
+    std::exception_ptr eptr;
+  } state;
+  state.remaining = chunks - 1;
+
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  auto chunk_begin = [&](std::int64_t c) {
+    return begin + c * base + std::min(c, rem);
+  };
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::int64_t c = 1; c < chunks; ++c) {
+      const std::int64_t b = chunk_begin(c);
+      const std::int64_t e = chunk_begin(c + 1);
+      tasks_.emplace_back([&state, &fn, b, e] {
+        RegionGuard rg;
+        try {
+          fn(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> sl(state.mu);
+          if (!state.eptr) state.eptr = std::current_exception();
+        }
+        std::lock_guard<std::mutex> sl(state.mu);
+        if (--state.remaining == 0) state.cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  {
+    RegionGuard rg;
+    try {
+      fn(chunk_begin(0), chunk_begin(1));
+    } catch (...) {
+      std::lock_guard<std::mutex> sl(state.mu);
+      if (!state.eptr) state.eptr = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> sl(state.mu);
+  state.cv.wait(sl, [&state] { return state.remaining == 0; });
+  if (state.eptr) std::rethrow_exception(state.eptr);
+}
+
+}  // namespace ibrar::runtime

@@ -1,0 +1,68 @@
+#pragma once
+// Fixed-size thread pool: the shared parallel execution runtime.
+//
+// One lazily-constructed global pool serves the whole library. Its lane count
+// comes from IBRAR_NUM_THREADS (via util/env), defaulting to
+// hardware_concurrency. "Lanes" counts the calling thread too: a pool with N
+// lanes spawns N-1 workers and the caller always executes one share of every
+// parallel region, so lanes == 1 means no threads are ever created and every
+// parallel_for degenerates to the plain serial loop.
+//
+// The pool deliberately has no work stealing and uses static partitioning
+// (see parallel_for.hpp): chunk boundaries are a pure function of the range
+// and grain, never of scheduling, which keeps results bit-reproducible.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ibrar::runtime {
+
+class ThreadPool {
+ public:
+  /// Pool with `lanes` total execution lanes (caller + lanes-1 workers).
+  explicit ThreadPool(std::int64_t lanes);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::int64_t lanes() const { return lanes_; }
+
+  /// Split [begin, end) into `chunks` contiguous blocks (sizes differing by at
+  /// most one) and run `fn(block_begin, block_end)` for each, the first block
+  /// on the calling thread. Blocks until every block finished; the first
+  /// exception thrown by any block is rethrown here.
+  void run_chunked(std::int64_t begin, std::int64_t end, std::int64_t chunks,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::int64_t lanes_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool, constructed on first use.
+ThreadPool& global_pool();
+
+/// Lane count of the global pool.
+std::int64_t num_threads();
+
+/// Rebuild the global pool with `lanes` lanes (0 = auto: IBRAR_NUM_THREADS or
+/// hardware_concurrency). Must not race with in-flight parallel regions; meant
+/// for benches and tests that sweep thread counts.
+void set_num_threads(std::int64_t lanes);
+
+/// True while the current thread is executing inside a parallel region.
+/// Nested parallel_for calls run serially to avoid deadlocking the pool.
+bool in_parallel_region();
+
+}  // namespace ibrar::runtime

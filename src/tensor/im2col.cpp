@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/matmul.hpp"
 
 namespace ibrar {
@@ -22,26 +23,30 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
   const float* px = x.data().data();
   float* pc = cols.data().data();
   const std::int64_t row_len = c * k * k;
-  for (std::int64_t in_n = 0; in_n < n; ++in_n) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float* row = pc + ((in_n * oh + oy) * ow + ox) * row_len;
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ic = 0; ic < c; ++ic) {
-          const float* plane = px + (in_n * c + ic) * h * w;
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t ix = ix0 + kx;
-              const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
-              *row++ = in_bounds ? plane[iy * w + ix] : 0.0f;
-            }
+  // Every output row is an independent gather; split the flat
+  // (image, oy, ox) row index across the pool.
+  const std::int64_t grain = runtime::grain_for(row_len);
+  runtime::parallel_for(0, n * oh * ow, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t in_n = r / (oh * ow);
+      const std::int64_t oy = (r / ow) % oh;
+      const std::int64_t ox = r % ow;
+      float* row = pc + r * row_len;
+      const std::int64_t iy0 = oy * spec.stride - spec.pad;
+      const std::int64_t ix0 = ox * spec.stride - spec.pad;
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        const float* plane = px + (in_n * c + ic) * h * w;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            *row++ = in_bounds ? plane[iy * w + ix] : 0.0f;
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -55,7 +60,10 @@ Tensor col2im(const Tensor& cols, const Shape& x_shape, const Conv2dSpec& spec) 
   const float* pc = cols.data().data();
   float* px = x.data().data();
   const std::int64_t row_len = c * k * k;
-  for (std::int64_t in_n = 0; in_n < n; ++in_n) {
+  // Columns scatter-add into their source image only, so images parallelize
+  // cleanly; within one image the accumulation order matches the serial loop.
+  runtime::parallel_for(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+  for (std::int64_t in_n = n0; in_n < n1; ++in_n) {
     for (std::int64_t oy = 0; oy < oh; ++oy) {
       for (std::int64_t ox = 0; ox < ow; ++ox) {
         const float* row = pc + ((in_n * oh + oy) * ow + ox) * row_len;
@@ -75,6 +83,7 @@ Tensor col2im(const Tensor& cols, const Shape& x_shape, const Conv2dSpec& spec) 
       }
     }
   }
+  });
   return x;
 }
 
@@ -98,25 +107,27 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor* bias,
   const float* pp = prod.data().data();
   float* po = out.data().data();
   const std::int64_t spatial = oh * ow;
-  for (std::int64_t in_n = 0; in_n < n; ++in_n) {
-    for (std::int64_t s = 0; s < spatial; ++s) {
-      const float* row = pp + (in_n * spatial + s) * f;
-      for (std::int64_t of = 0; of < f; ++of) {
-        po[(in_n * f + of) * spatial + s] = row[of];
+  if (bias != nullptr && bias->numel() != f) {
+    throw std::invalid_argument("conv2d: bias size");
+  }
+  const float* pb = bias != nullptr ? bias->data().data() : nullptr;
+  runtime::parallel_for(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t in_n = n0; in_n < n1; ++in_n) {
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        const float* row = pp + (in_n * spatial + s) * f;
+        for (std::int64_t of = 0; of < f; ++of) {
+          po[(in_n * f + of) * spatial + s] = row[of];
+        }
+      }
+      if (pb != nullptr) {
+        for (std::int64_t of = 0; of < f; ++of) {
+          float* plane = po + (in_n * f + of) * spatial;
+          const float b = pb[of];
+          for (std::int64_t s = 0; s < spatial; ++s) plane[s] += b;
+        }
       }
     }
-  }
-  if (bias != nullptr) {
-    if (bias->numel() != f) throw std::invalid_argument("conv2d: bias size");
-    const float* pb = bias->data().data();
-    for (std::int64_t in_n = 0; in_n < n; ++in_n) {
-      for (std::int64_t of = 0; of < f; ++of) {
-        float* plane = po + (in_n * f + of) * spatial;
-        const float b = pb[of];
-        for (std::int64_t s = 0; s < spatial; ++s) plane[s] += b;
-      }
-    }
-  }
+  });
   return out;
 }
 
@@ -129,11 +140,15 @@ PoolResult maxpool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) 
   r.argmax.resize(static_cast<std::size_t>(n * c * oh * ow));
   const float* px = x.data().data();
   float* po = r.out.data().data();
-  std::size_t oi = 0;
-  for (std::int64_t in_n = 0; in_n < n; ++in_n) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      const float* plane = px + (in_n * c + ic) * h * w;
-      const std::int64_t plane_off = (in_n * c + ic) * h * w;
+  // One (image, channel) plane per unit of work; each writes its own slice of
+  // out/argmax.
+  const std::int64_t out_spatial = oh * ow;
+  const std::int64_t grain = runtime::grain_for(out_spatial * kernel * kernel);
+  runtime::parallel_for(0, n * c, grain, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t plane_idx = p0; plane_idx < p1; ++plane_idx) {
+      const float* plane = px + plane_idx * h * w;
+      const std::int64_t plane_off = plane_idx * h * w;
+      std::size_t oi = static_cast<std::size_t>(plane_idx * out_spatial);
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         for (std::int64_t ox = 0; ox < ow; ++ox) {
           float best = -std::numeric_limits<float>::infinity();
@@ -155,7 +170,7 @@ PoolResult maxpool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) 
         }
       }
     }
-  }
+  });
   return r;
 }
 
@@ -177,12 +192,15 @@ Tensor global_avg_pool(const Tensor& x) {
   Tensor out({n, c});
   const float* px = x.data().data();
   float* po = out.data().data();
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    double s = 0.0;
-    const float* plane = px + i * spatial;
-    for (std::int64_t k = 0; k < spatial; ++k) s += plane[k];
-    po[i] = static_cast<float>(s / static_cast<double>(spatial));
-  }
+  const std::int64_t grain = runtime::grain_for(spatial);
+  runtime::parallel_for(0, n * c, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double s = 0.0;
+      const float* plane = px + i * spatial;
+      for (std::int64_t k = 0; k < spatial; ++k) s += plane[k];
+      po[i] = static_cast<float>(s / static_cast<double>(spatial));
+    }
+  });
   return out;
 }
 
@@ -193,11 +211,14 @@ Tensor global_avg_pool_backward(const Tensor& grad_out, const Shape& x_shape) {
   const float* pg = grad_out.data().data();
   float* px = gx.data().data();
   const float inv = 1.0f / static_cast<float>(spatial);
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    const float g = pg[i] * inv;
-    float* plane = px + i * spatial;
-    for (std::int64_t k = 0; k < spatial; ++k) plane[k] = g;
-  }
+  const std::int64_t grain = runtime::grain_for(spatial);
+  runtime::parallel_for(0, n * c, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float g = pg[i] * inv;
+      float* plane = px + i * spatial;
+      for (std::int64_t k = 0; k < spatial; ++k) plane[k] = g;
+    }
+  });
   return gx;
 }
 

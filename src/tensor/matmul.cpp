@@ -2,22 +2,37 @@
 
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
+
 namespace ibrar {
+namespace {
+
+/// Rows per parallel block so tiny GEMMs stay serial: each block should carry
+/// at least kMinParallelWork multiply-adds.
+std::int64_t row_grain(std::int64_t k, std::int64_t n) {
+  return runtime::grain_for(k * n);
+}
+
+}  // namespace
 
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
   // ikj ordering: the inner loop runs over contiguous rows of B and C, which
   // GCC/Clang vectorize well; a[i*k+p] is a scalar across the inner loop.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * n;
-    const float* ai = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;  // im2col matrices are often sparse post-ReLU
-      const float* bp = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+  // Rows of C are independent, so the row range splits across the pool with
+  // bit-identical per-row arithmetic.
+  runtime::parallel_for(0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* ci = c + i * n;
+      const float* ai = a + i * k;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        if (av == 0.0f) continue;  // im2col matrices are often sparse post-ReLU
+        const float* bp = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
     }
-  }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -41,21 +56,24 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const auto m = a.dim(1);
   const auto n = b.dim(1);
   Tensor c({m, n});
-  // C[i,j] = sum_p A[p,i] B[p,j]; accumulate rank-1 updates row by row so the
-  // inner loop stays contiguous in B and C.
+  // C[i,j] = sum_p A[p,i] B[p,j]. Each block owns a contiguous row range of C
+  // and walks p outermost, so B rows stream through cache once per block and
+  // the per-element accumulation order matches the serial loop exactly.
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* ap = pa + p * m;
-    const float* bp = pb + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = ap[i];
-      if (av == 0.0f) continue;
-      float* ci = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+  runtime::parallel_for(0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* ap = pa + p * m;
+      const float* bp = pb + p * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = ap[i];
+        if (av == 0.0f) continue;
+        float* ci = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -70,17 +88,19 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  // C[i,j] = dot(A_row_i, B_row_j): both rows contiguous.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = pa + i * k;
-    float* ci = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = pb + j * k;
-      float s = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-      ci[j] = s;
+  // C[i,j] = dot(A_row_i, B_row_j): both rows contiguous, rows independent.
+  runtime::parallel_for(0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* ai = pa + i * k;
+      float* ci = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = pb + j * k;
+        float s = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+        ci[j] = s;
+      }
     }
-  }
+  });
   return c;
 }
 

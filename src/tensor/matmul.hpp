@@ -1,7 +1,9 @@
 #pragma once
-// Blocked single-threaded GEMM. The models are tiny but conv-as-im2col makes
-// matmul the hot loop, so this kernel is written for the compiler to
-// auto-vectorize (contiguous inner loops, restrict-style locals).
+// Row-blocked GEMM, parallelized over the runtime thread pool. The models are
+// tiny but conv-as-im2col makes matmul the hot loop, so these kernels are
+// written for the compiler to auto-vectorize (contiguous inner loops,
+// restrict-style locals) and split output rows across lanes with per-row
+// arithmetic identical to the serial loop (bit-reproducible results).
 
 #include "tensor/tensor.hpp"
 

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
 
 namespace ibrar {
 namespace {
 
 // Iterate a broadcast binary op with stride arithmetic. Fast path when both
 // shapes match; otherwise walk the output in row-major order mapping each
-// coordinate back into a and b with zero-stride on broadcast axes.
+// coordinate back into a and b with zero-stride on broadcast axes. Both paths
+// split the flat output range across the runtime pool; every element is a
+// pure function of its coordinate, so chunking never changes the bits.
 template <typename F>
 Tensor broadcast_apply(const Tensor& a, const Tensor& b, F&& f) {
   if (a.same_shape(b)) {
@@ -17,8 +22,14 @@ Tensor broadcast_apply(const Tensor& a, const Tensor& b, F&& f) {
     const auto pa = a.data();
     const auto pb = b.data();
     auto po = out.data();
-    const std::size_t n = pa.size();
-    for (std::size_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain,
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            po[u] = f(pa[u], pb[u]);
+          }
+        });
     return out;
   }
 
@@ -41,28 +52,40 @@ Tensor broadcast_apply(const Tensor& a, const Tensor& b, F&& f) {
   const auto sa = aligned_strides(a);
   const auto sb = aligned_strides(b);
 
-  std::vector<std::int64_t> coord(rank, 0);
   const auto pa = a.data();
   const auto pb = b.data();
   auto po = out.data();
-  std::int64_t ia = 0;
-  std::int64_t ib = 0;
   const std::int64_t n = out.numel();
-  for (std::int64_t flat = 0; flat < n; ++flat) {
-    po[static_cast<std::size_t>(flat)] =
-        f(pa[static_cast<std::size_t>(ia)], pb[static_cast<std::size_t>(ib)]);
-    // Increment the multi-index (odometer) and the two input offsets.
+  runtime::parallel_for(0, n, runtime::kElementwiseGrain,
+                        [&](std::int64_t f0, std::int64_t f1) {
+    // Seed the odometer and both input offsets at flat index f0.
+    std::vector<std::int64_t> coord(rank, 0);
+    std::int64_t ia = 0;
+    std::int64_t ib = 0;
+    std::int64_t tmp = f0;
     for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
       const auto du = static_cast<std::size_t>(d);
-      coord[du] += 1;
-      ia += sa[du];
-      ib += sb[du];
-      if (coord[du] < out_shape[du]) break;
-      ia -= sa[du] * out_shape[du];
-      ib -= sb[du] * out_shape[du];
-      coord[du] = 0;
+      coord[du] = tmp % out_shape[du];
+      tmp /= out_shape[du];
+      ia += coord[du] * sa[du];
+      ib += coord[du] * sb[du];
     }
-  }
+    for (std::int64_t flat = f0; flat < f1; ++flat) {
+      po[static_cast<std::size_t>(flat)] =
+          f(pa[static_cast<std::size_t>(ia)], pb[static_cast<std::size_t>(ib)]);
+      // Increment the multi-index (odometer) and the two input offsets.
+      for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
+        const auto du = static_cast<std::size_t>(d);
+        coord[du] += 1;
+        ia += sa[du];
+        ib += sb[du];
+        if (coord[du] < out_shape[du]) break;
+        ia -= sa[du] * out_shape[du];
+        ib -= sb[du] * out_shape[du];
+        coord[du] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -102,7 +125,14 @@ Tensor unary_op(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
   const auto pa = a.data();
   auto po = out.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = f(pa[i]);
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          po[u] = f(pa[u]);
+        }
+      });
   return out;
 }
 
@@ -187,12 +217,18 @@ Tensor take_rows(const Tensor& a, const std::vector<std::int64_t>& idx) {
   Shape shape = a.shape();
   shape[0] = static_cast<std::int64_t>(idx.size());
   Tensor out(shape);
-  for (std::size_t r = 0; r < idx.size(); ++r) {
-    const auto src = idx[r];
-    if (src < 0 || src >= a.dim(0)) throw std::out_of_range("take_rows index");
-    std::copy_n(a.data().begin() + src * row_size, row_size,
-                out.data().begin() + static_cast<std::int64_t>(r) * row_size);
-  }
+  // Batch assembly hot path (DataLoader::next): rows copy independently.
+  const std::int64_t grain = runtime::grain_for(row_size);
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(idx.size()), grain,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const auto src = idx[static_cast<std::size_t>(r)];
+          if (src < 0 || src >= a.dim(0)) throw std::out_of_range("take_rows index");
+          std::copy_n(a.data().begin() + src * row_size, row_size,
+                      out.data().begin() + r * row_size);
+        }
+      });
   return out;
 }
 
@@ -249,8 +285,17 @@ Tensor reduce_to_shape(const Tensor& g, const Shape& target) {
 }
 
 float sum_all(const Tensor& a) {
-  double s = 0.0;
-  for (const auto x : a.data()) s += x;
+  const auto pa = a.data();
+  // Grain-sized chunks with in-order combination: the grouping of the double
+  // accumulation depends only on the grain, never on the thread count.
+  const double s = runtime::parallel_reduce(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain, 0.0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        double part = 0.0;
+        for (std::int64_t i = i0; i < i1; ++i) part += pa[static_cast<std::size_t>(i)];
+        return part;
+      },
+      [](double acc, double part) { return acc + part; });
   return static_cast<float>(s);
 }
 
@@ -259,32 +304,67 @@ float mean_all(const Tensor& a) {
 }
 
 float max_all(const Tensor& a) {
-  float m = -std::numeric_limits<float>::infinity();
-  for (const auto x : a.data()) m = std::max(m, x);
-  return m;
+  const auto pa = a.data();
+  return runtime::parallel_reduce(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain,
+      -std::numeric_limits<float>::infinity(),
+      [&](std::int64_t i0, std::int64_t i1) {
+        float part = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = i0; i < i1; ++i) {
+          part = std::max(part, pa[static_cast<std::size_t>(i)]);
+        }
+        return part;
+      },
+      [](float acc, float part) { return std::max(acc, part); });
 }
 
 float min_all(const Tensor& a) {
-  float m = std::numeric_limits<float>::infinity();
-  for (const auto x : a.data()) m = std::min(m, x);
-  return m;
+  const auto pa = a.data();
+  return runtime::parallel_reduce(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain,
+      std::numeric_limits<float>::infinity(),
+      [&](std::int64_t i0, std::int64_t i1) {
+        float part = std::numeric_limits<float>::infinity();
+        for (std::int64_t i = i0; i < i1; ++i) {
+          part = std::min(part, pa[static_cast<std::size_t>(i)]);
+        }
+        return part;
+      },
+      [](float acc, float part) { return std::min(acc, part); });
 }
 
 float dot(const Tensor& a, const Tensor& b) {
   if (a.numel() != b.numel()) throw std::invalid_argument("dot: size mismatch");
-  double s = 0.0;
   const auto pa = a.data();
   const auto pb = b.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) s += double(pa[i]) * double(pb[i]);
+  const double s = runtime::parallel_reduce(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain, 0.0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        double part = 0.0;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          part += double(pa[u]) * double(pb[u]);
+        }
+        return part;
+      },
+      [](double acc, double part) { return acc + part; });
   return static_cast<float>(s);
 }
 
 float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
 
 float linf_norm(const Tensor& a) {
-  float m = 0.0f;
-  for (const auto x : a.data()) m = std::max(m, std::fabs(x));
-  return m;
+  const auto pa = a.data();
+  return runtime::parallel_reduce(
+      0, static_cast<std::int64_t>(pa.size()), runtime::kElementwiseGrain, 0.0f,
+      [&](std::int64_t i0, std::int64_t i1) {
+        float part = 0.0f;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          part = std::max(part, std::fabs(pa[static_cast<std::size_t>(i)]));
+        }
+        return part;
+      },
+      [](float acc, float part) { return std::max(acc, part); });
 }
 
 }  // namespace ibrar

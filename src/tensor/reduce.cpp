@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -82,18 +83,21 @@ Tensor softmax_rows(const Tensor& a) {
   if (a.rank() != 2) throw std::invalid_argument("softmax_rows: rank != 2");
   const auto m = a.dim(0), n = a.dim(1);
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < m; ++i) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, a.at(i, j));
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float e = std::exp(a.at(i, j) - mx);
-      out.at(i, j) = e;
-      denom += e;
+  const std::int64_t grain = runtime::grain_for(n);
+  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, a.at(i, j));
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float e = std::exp(a.at(i, j) - mx);
+        out.at(i, j) = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t j = 0; j < n; ++j) out.at(i, j) *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < n; ++j) out.at(i, j) *= inv;
-  }
+  });
   return out;
 }
 
@@ -101,14 +105,17 @@ Tensor log_softmax_rows(const Tensor& a) {
   if (a.rank() != 2) throw std::invalid_argument("log_softmax_rows: rank != 2");
   const auto m = a.dim(0), n = a.dim(1);
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < m; ++i) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, a.at(i, j));
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) denom += std::exp(a.at(i, j) - mx);
-    const float lse = mx + static_cast<float>(std::log(denom));
-    for (std::int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) - lse;
-  }
+  const std::int64_t grain = runtime::grain_for(n);
+  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, a.at(i, j));
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) denom += std::exp(a.at(i, j) - mx);
+      const float lse = mx + static_cast<float>(std::log(denom));
+      for (std::int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) - lse;
+    }
+  });
   return out;
 }
 
@@ -116,14 +123,17 @@ Tensor row_sq_norm(const Tensor& a) {
   if (a.rank() != 2) throw std::invalid_argument("row_sq_norm: rank != 2");
   const auto m = a.dim(0), n = a.dim(1);
   Tensor out({m, 1});
-  for (std::int64_t i = 0; i < m; ++i) {
-    double s = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const double v = a.at(i, j);
-      s += v * v;
+  const std::int64_t grain = runtime::grain_for(n);
+  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double s = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double v = a.at(i, j);
+        s += v * v;
+      }
+      out.at(i, 0) = static_cast<float>(s);
     }
-    out.at(i, 0) = static_cast<float>(s);
-  }
+  });
   return out;
 }
 
@@ -132,12 +142,15 @@ Tensor pairwise_sq_dists(const Tensor& a) {
   const auto m = a.dim(0);
   const Tensor gram = matmul_nt(a, a);  // (m, m)
   Tensor out({m, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < m; ++j) {
-      const float d = gram.at(i, i) + gram.at(j, j) - 2.0f * gram.at(i, j);
-      out.at(i, j) = std::max(d, 0.0f);
+  const std::int64_t grain = runtime::grain_for(m);
+  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        const float d = gram.at(i, i) + gram.at(j, j) - 2.0f * gram.at(i, j);
+        out.at(i, j) = std::max(d, 0.0f);
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,191 @@
+// Runtime layer: thread-pool lifecycle, parallel_for/parallel_reduce
+// semantics, exception propagation, nested regions, and the bit-exact
+// determinism contract (same results at every pool size).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mi/hsic.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ibrar {
+namespace {
+
+TEST(ThreadPool, StartupShutdown) {
+  // Pools of every small size construct, run work, and join cleanly.
+  for (std::int64_t lanes = 1; lanes <= 8; ++lanes) {
+    runtime::ThreadPool pool(lanes);
+    EXPECT_EQ(pool.lanes(), lanes);
+    std::atomic<std::int64_t> covered{0};
+    pool.run_chunked(0, 1000, lanes, [&](std::int64_t b, std::int64_t e) {
+      covered += e - b;
+    });
+    EXPECT_EQ(covered.load(), 1000);
+  }
+}
+
+TEST(ThreadPool, LanesClampedToAtLeastOne) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.lanes(), 1);
+}
+
+TEST(ThreadPool, SetNumThreadsRebuildsGlobalPool) {
+  runtime::set_num_threads(3);
+  EXPECT_EQ(runtime::num_threads(), 3);
+  runtime::set_num_threads(1);
+  EXPECT_EQ(runtime::num_threads(), 1);
+}
+
+TEST(ThreadPool, EnvVarControlsDefaultSize) {
+  setenv("IBRAR_NUM_THREADS", "2", 1);
+  runtime::set_num_threads(0);  // 0 = re-read the environment
+  EXPECT_EQ(runtime::num_threads(), 2);
+  unsetenv("IBRAR_NUM_THREADS");
+  runtime::set_num_threads(0);
+  EXPECT_GE(runtime::num_threads(), 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  runtime::set_num_threads(4);
+  std::vector<int> hits(1000, 0);
+  runtime::parallel_for(0, 1000, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  runtime::set_num_threads(4);
+  int calls = 0;
+  runtime::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n <= grain stays a single inline call on the caller.
+  std::atomic<int> acalls{0};
+  runtime::parallel_for(0, 10, 100, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 10);
+    ++acalls;
+  });
+  EXPECT_EQ(acalls.load(), 1);
+}
+
+TEST(ParallelFor, SingleLaneFallbackIsOneInlineCall) {
+  runtime::set_num_threads(1);
+  int calls = 0;
+  runtime::parallel_for(0, 100000, 1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100000);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  runtime::set_num_threads(4);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  for (const std::int64_t lanes : {1, 4}) {
+    runtime::set_num_threads(lanes);
+    EXPECT_THROW(
+        runtime::parallel_for(0, 100, 1,
+                              [](std::int64_t b, std::int64_t) {
+                                if (b >= 0) throw std::runtime_error("boom");
+                              }),
+        std::runtime_error);
+    // The pool survives a throwing region and keeps scheduling work.
+    std::atomic<std::int64_t> covered{0};
+    runtime::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+      covered += e - b;
+    });
+    EXPECT_EQ(covered.load(), 64);
+  }
+}
+
+TEST(ParallelFor, NestedRegionsRunSerially) {
+  runtime::set_num_threads(4);
+  std::atomic<std::int64_t> total{0};
+  runtime::parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      // Inner call must not deadlock waiting for pool lanes held by outers.
+      runtime::parallel_for(0, 10, 1, [&](std::int64_t ib, std::int64_t ie) {
+        total += ie - ib;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  runtime::set_num_threads(4);
+  std::vector<double> v(10000);
+  std::iota(v.begin(), v.end(), 1.0);
+  const double got = runtime::parallel_reduce(
+      0, static_cast<std::int64_t>(v.size()), 128, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
+        double s = 0.0;
+        for (std::int64_t i = b; i < e; ++i) s += v[static_cast<std::size_t>(i)];
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, 10000.0 * 10001.0 / 2.0);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  const Tensor a = randn({257, 129}, rng);
+  runtime::set_num_threads(1);
+  const float serial = dot(a, a);
+  runtime::set_num_threads(4);
+  const float parallel = dot(a, a);
+  EXPECT_EQ(serial, parallel);  // exact: chunking depends on grain only
+}
+
+TEST(Determinism, MatmulBitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const Tensor a = randn({97, 64}, rng);
+  const Tensor b = randn({64, 83}, rng);
+  const Tensor at = randn({64, 97}, rng);  // matmul_tn input: (k, m)
+  const Tensor bt = randn({83, 64}, rng);  // matmul_nt input: (n, k)
+  runtime::set_num_threads(1);
+  const Tensor c1 = matmul(a, b);
+  const Tensor t1 = matmul_tn(at, b);
+  const Tensor n1 = matmul_nt(a, bt);
+  runtime::set_num_threads(4);
+  const Tensor c4 = matmul(a, b);
+  const Tensor t4 = matmul_tn(at, b);
+  const Tensor n4 = matmul_nt(a, bt);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) EXPECT_EQ(c1[i], c4[i]);
+  for (std::int64_t i = 0; i < t1.numel(); ++i) EXPECT_EQ(t1[i], t4[i]);
+  for (std::int64_t i = 0; i < n1.numel(); ++i) EXPECT_EQ(n1[i], n4[i]);
+}
+
+TEST(Determinism, HsicBitIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  const Tensor x = randn({100, 32}, rng);
+  const Tensor y = randn({100, 10}, rng);
+  runtime::set_num_threads(1);
+  const float h1 = mi::hsic_gaussian(x, y);
+  runtime::set_num_threads(4);
+  const float h4 = mi::hsic_gaussian(x, y);
+  EXPECT_EQ(h1, h4);
+}
+
+TEST(Determinism, ElementwiseBitIdenticalAcrossThreadCounts) {
+  Rng rng(17);
+  const Tensor a = rand_uniform({33000}, rng, -4.0f, 4.0f);
+  runtime::set_num_threads(1);
+  const Tensor e1 = ibrar::exp(a);
+  runtime::set_num_threads(4);
+  const Tensor e4 = ibrar::exp(a);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(e1[i], e4[i]);
+}
+
+}  // namespace
+}  // namespace ibrar
