@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_training.dir/examples/adversarial_training.cpp.o"
+  "CMakeFiles/adversarial_training.dir/examples/adversarial_training.cpp.o.d"
+  "adversarial_training"
+  "adversarial_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_playground.dir/examples/attack_playground.cpp.o"
+  "CMakeFiles/attack_playground.dir/examples/attack_playground.cpp.o.d"
+  "attack_playground"
+  "attack_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,88 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/adaptive.cpp" "CMakeFiles/ibrar.dir/src/attacks/adaptive.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/adaptive.cpp.o.d"
+  "/root/repo/src/attacks/attack.cpp" "CMakeFiles/ibrar.dir/src/attacks/attack.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/attack.cpp.o.d"
+  "/root/repo/src/attacks/cw.cpp" "CMakeFiles/ibrar.dir/src/attacks/cw.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/cw.cpp.o.d"
+  "/root/repo/src/attacks/fab.cpp" "CMakeFiles/ibrar.dir/src/attacks/fab.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/fab.cpp.o.d"
+  "/root/repo/src/attacks/fgsm.cpp" "CMakeFiles/ibrar.dir/src/attacks/fgsm.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/fgsm.cpp.o.d"
+  "/root/repo/src/attacks/mifgsm.cpp" "CMakeFiles/ibrar.dir/src/attacks/mifgsm.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/mifgsm.cpp.o.d"
+  "/root/repo/src/attacks/nifgsm.cpp" "CMakeFiles/ibrar.dir/src/attacks/nifgsm.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/nifgsm.cpp.o.d"
+  "/root/repo/src/attacks/pgd.cpp" "CMakeFiles/ibrar.dir/src/attacks/pgd.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/pgd.cpp.o.d"
+  "/root/repo/src/attacks/square.cpp" "CMakeFiles/ibrar.dir/src/attacks/square.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/attacks/square.cpp.o.d"
+  "/root/repo/src/autograd/gradcheck.cpp" "CMakeFiles/ibrar.dir/src/autograd/gradcheck.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/gradcheck.cpp.o.d"
+  "/root/repo/src/autograd/ops_conv.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_conv.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_conv.cpp.o.d"
+  "/root/repo/src/autograd/ops_elementwise.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_elementwise.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_elementwise.cpp.o.d"
+  "/root/repo/src/autograd/ops_linalg.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_linalg.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_linalg.cpp.o.d"
+  "/root/repo/src/autograd/ops_loss.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_loss.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_loss.cpp.o.d"
+  "/root/repo/src/autograd/ops_norm.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_norm.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_norm.cpp.o.d"
+  "/root/repo/src/autograd/ops_reduce.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_reduce.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_reduce.cpp.o.d"
+  "/root/repo/src/autograd/ops_shape.cpp" "CMakeFiles/ibrar.dir/src/autograd/ops_shape.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/ops_shape.cpp.o.d"
+  "/root/repo/src/autograd/var.cpp" "CMakeFiles/ibrar.dir/src/autograd/var.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/autograd/var.cpp.o.d"
+  "/root/repo/src/core/feature_mask.cpp" "CMakeFiles/ibrar.dir/src/core/feature_mask.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/core/feature_mask.cpp.o.d"
+  "/root/repo/src/core/ibrar.cpp" "CMakeFiles/ibrar.dir/src/core/ibrar.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/core/ibrar.cpp.o.d"
+  "/root/repo/src/core/mi_loss.cpp" "CMakeFiles/ibrar.dir/src/core/mi_loss.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/core/mi_loss.cpp.o.d"
+  "/root/repo/src/core/robust_layers.cpp" "CMakeFiles/ibrar.dir/src/core/robust_layers.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/core/robust_layers.cpp.o.d"
+  "/root/repo/src/core/shared_features.cpp" "CMakeFiles/ibrar.dir/src/core/shared_features.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/core/shared_features.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/ibrar.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "CMakeFiles/ibrar.dir/src/data/loader.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/data/loader.cpp.o.d"
+  "/root/repo/src/data/registry.cpp" "CMakeFiles/ibrar.dir/src/data/registry.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/data/registry.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/ibrar.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/mi/binned_mi.cpp" "CMakeFiles/ibrar.dir/src/mi/binned_mi.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/mi/binned_mi.cpp.o.d"
+  "/root/repo/src/mi/channel_score.cpp" "CMakeFiles/ibrar.dir/src/mi/channel_score.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/mi/channel_score.cpp.o.d"
+  "/root/repo/src/mi/hsic.cpp" "CMakeFiles/ibrar.dir/src/mi/hsic.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/mi/hsic.cpp.o.d"
+  "/root/repo/src/mi/kernels.cpp" "CMakeFiles/ibrar.dir/src/mi/kernels.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/mi/kernels.cpp.o.d"
+  "/root/repo/src/mi/objective.cpp" "CMakeFiles/ibrar.dir/src/mi/objective.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/mi/objective.cpp.o.d"
+  "/root/repo/src/mi/tsne.cpp" "CMakeFiles/ibrar.dir/src/mi/tsne.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/mi/tsne.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "CMakeFiles/ibrar.dir/src/models/mlp.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/models/mlp.cpp.o.d"
+  "/root/repo/src/models/registry.cpp" "CMakeFiles/ibrar.dir/src/models/registry.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/models/registry.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "CMakeFiles/ibrar.dir/src/models/resnet.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/models/resnet.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "CMakeFiles/ibrar.dir/src/models/vgg.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/models/vgg.cpp.o.d"
+  "/root/repo/src/models/wideresnet.cpp" "CMakeFiles/ibrar.dir/src/models/wideresnet.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/models/wideresnet.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "CMakeFiles/ibrar.dir/src/nn/activation.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "CMakeFiles/ibrar.dir/src/nn/conv.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "CMakeFiles/ibrar.dir/src/nn/dropout.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "CMakeFiles/ibrar.dir/src/nn/init.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/ibrar.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "CMakeFiles/ibrar.dir/src/nn/module.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "CMakeFiles/ibrar.dir/src/nn/norm.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/norm.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "CMakeFiles/ibrar.dir/src/nn/pool.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/ibrar.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "CMakeFiles/ibrar.dir/src/runtime/thread_pool.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "CMakeFiles/ibrar.dir/src/tensor/im2col.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/matmul.cpp" "CMakeFiles/ibrar.dir/src/tensor/matmul.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/tensor/matmul.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/ibrar.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/random.cpp" "CMakeFiles/ibrar.dir/src/tensor/random.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/tensor/random.cpp.o.d"
+  "/root/repo/src/tensor/reduce.cpp" "CMakeFiles/ibrar.dir/src/tensor/reduce.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/tensor/reduce.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/ibrar.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/evaluate.cpp" "CMakeFiles/ibrar.dir/src/train/evaluate.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/evaluate.cpp.o.d"
+  "/root/repo/src/train/hbar.cpp" "CMakeFiles/ibrar.dir/src/train/hbar.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/hbar.cpp.o.d"
+  "/root/repo/src/train/mart.cpp" "CMakeFiles/ibrar.dir/src/train/mart.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/mart.cpp.o.d"
+  "/root/repo/src/train/metrics.cpp" "CMakeFiles/ibrar.dir/src/train/metrics.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/metrics.cpp.o.d"
+  "/root/repo/src/train/objectives.cpp" "CMakeFiles/ibrar.dir/src/train/objectives.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/objectives.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "CMakeFiles/ibrar.dir/src/train/optimizer.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/optimizer.cpp.o.d"
+  "/root/repo/src/train/scheduler.cpp" "CMakeFiles/ibrar.dir/src/train/scheduler.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/scheduler.cpp.o.d"
+  "/root/repo/src/train/trades.cpp" "CMakeFiles/ibrar.dir/src/train/trades.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/trades.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "CMakeFiles/ibrar.dir/src/train/trainer.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/trainer.cpp.o.d"
+  "/root/repo/src/train/vib.cpp" "CMakeFiles/ibrar.dir/src/train/vib.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/train/vib.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "CMakeFiles/ibrar.dir/src/util/env.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/util/env.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/ibrar.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/ibrar.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/serialize.cpp" "CMakeFiles/ibrar.dir/src/util/serialize.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/util/serialize.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "CMakeFiles/ibrar.dir/src/util/stopwatch.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ibrar.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ibrar.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

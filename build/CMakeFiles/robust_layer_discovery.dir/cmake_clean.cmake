@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_layer_discovery.dir/examples/robust_layer_discovery.cpp.o"
+  "CMakeFiles/robust_layer_discovery.dir/examples/robust_layer_discovery.cpp.o.d"
+  "robust_layer_discovery"
+  "robust_layer_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_layer_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

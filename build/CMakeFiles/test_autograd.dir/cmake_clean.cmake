@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd.dir/tests/test_autograd.cpp.o"
+  "CMakeFiles/test_autograd.dir/tests/test_autograd.cpp.o.d"
+  "test_autograd"
+  "test_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mi.dir/tests/test_mi.cpp.o"
+  "CMakeFiles/test_mi.dir/tests/test_mi.cpp.o.d"
+  "test_mi"
+  "test_mi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

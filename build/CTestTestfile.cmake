@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_attacks "/root/repo/build/test_attacks")
+set_tests_properties(test_attacks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_autograd "/root/repo/build/test_autograd")
+set_tests_properties(test_autograd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_data "/root/repo/build/test_data")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_mi "/root/repo/build/test_mi")
+set_tests_properties(test_mi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_models "/root/repo/build/test_models")
+set_tests_properties(test_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/test_nn")
+set_tests_properties(test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_train "/root/repo/build/test_train")
+set_tests_properties(test_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_util "/root/repo/build/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;43;add_test;/root/repo/CMakeLists.txt;0;")
