@@ -1,0 +1,192 @@
+// GEMM A/B bench: seed ikj kernel vs the packed cache-blocked kernel.
+//
+// For each shape the bench times the seed kernel (the exact ikj loop the repo
+// shipped with, zero-skip included) against gemm_packed at 1 thread, checks
+// the outputs are bit-identical (same fma chain — see gemm_packed.hpp), then
+// re-runs packed at IBRAR_BENCH_THREADS lanes and checks bit-identity with
+// the 1-thread result. Every row lands in the JSON perf record
+// (BENCH_pr2.json / IBRAR_BENCH_OUT).
+//
+//   ./bench_gemm            full shapes, best-of-5 timing
+//   ./bench_gemm --smoke    tiny shapes, 1 rep — the CTest reporter sanity run
+//
+// Exit status is nonzero if either bit-identity check (packed vs seed, or
+// 1 vs N lanes) fails, so CI can gate on it; the recorded checksums are the
+// greppable trail, not the gate (bit identity subsumes checksum equality).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reporter.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/gemm_packed.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace ibrar::bench {
+namespace {
+
+/// The seed repo's GEMM, verbatim (serial form): ikj with the zero-skip
+/// shortcut. This is the baseline every speedup in BENCH_pr2.json is against.
+void seed_gemm_ikj(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+struct ShapeSpec {
+  std::int64_t m, k, n;
+  const char* note;
+};
+
+bool run_shape(JsonReporter& rep, Table& table, const ShapeSpec& s, int reps,
+               std::int64_t bench_threads) {
+  Rng rng(0x9e3779b9u ^ static_cast<std::uint64_t>(s.m * 131 + s.k * 17 + s.n));
+  const Tensor a = randn({s.m, s.k}, rng);
+  const Tensor b = randn({s.k, s.n}, rng);
+  const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
+                static_cast<long long>(s.m), static_cast<long long>(s.k),
+                static_cast<long long>(s.n));
+
+  runtime::set_num_threads(1);
+  Tensor c_seed({s.m, s.n});
+  const double t_seed = time_best_ms(
+      [&] {
+        c_seed.fill(0.0f);
+        seed_gemm_ikj(a.data().data(), b.data().data(), c_seed.data().data(),
+                      s.m, s.k, s.n);
+      },
+      reps);
+
+  Tensor c_packed({s.m, s.n});
+  const double t_packed = time_best_ms(
+      [&] {
+        c_packed.fill(0.0f);
+        gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+                    GemmLayout::kRowMajor, c_packed.data().data(), s.m, s.k,
+                    s.n);
+      },
+      reps);
+
+  runtime::set_num_threads(bench_threads);
+  Tensor c_mt({s.m, s.n});
+  const double t_mt = time_best_ms(
+      [&] {
+        c_mt.fill(0.0f);
+        gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+                    GemmLayout::kRowMajor, c_mt.data().data(), s.m, s.k, s.n);
+      },
+      reps);
+  runtime::set_num_threads(1);
+
+  const bool match_seed = tensor_bits_equal(c_seed, c_packed);
+  const bool match_mt = tensor_bits_equal(c_packed, c_mt);
+  const double speedup = t_packed > 0 ? t_seed / t_packed : 0.0;
+
+  BenchRecord seed_rec;
+  seed_rec.kernel = "gemm_seed_ikj";
+  seed_rec.shape = shape;
+  seed_rec.ns_per_op = t_seed * 1e6;
+  seed_rec.gflops = flops / (t_seed * 1e6);
+  seed_rec.threads = 1;
+  seed_rec.checksum = tensor_checksum(c_seed);
+  rep.add(seed_rec);
+
+  BenchRecord packed_rec = seed_rec;
+  packed_rec.kernel = "gemm_packed";
+  packed_rec.ns_per_op = t_packed * 1e6;
+  packed_rec.gflops = flops / (t_packed * 1e6);
+  packed_rec.checksum = tensor_checksum(c_packed);
+  packed_rec.speedup_vs_naive = speedup;
+  packed_rec.bit_identical = match_seed;
+  rep.add(packed_rec);
+
+  BenchRecord mt_rec = packed_rec;
+  mt_rec.threads = bench_threads;
+  mt_rec.ns_per_op = t_mt * 1e6;
+  mt_rec.gflops = flops / (t_mt * 1e6);
+  mt_rec.checksum = tensor_checksum(c_mt);
+  mt_rec.speedup_vs_naive = t_mt > 0 ? t_seed / t_mt : 0.0;
+  mt_rec.bit_identical = match_mt;
+  rep.add(mt_rec);
+
+  char seed_ms[32], packed_ms[32], sp[32], gf[32];
+  std::snprintf(seed_ms, sizeof(seed_ms), "%.2f", t_seed);
+  std::snprintf(packed_ms, sizeof(packed_ms), "%.2f", t_packed);
+  std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
+  std::snprintf(gf, sizeof(gf), "%.2f", packed_rec.gflops);
+  table.add_row({std::string(shape) + " (" + s.note + ")", seed_ms, packed_ms,
+                 sp, gf, match_seed ? "yes" : "NO",
+                 match_mt ? "yes" : "NO"});
+  return match_seed && match_mt;
+}
+
+}  // namespace
+}  // namespace ibrar::bench
+
+int main(int argc, char** argv) {
+  using namespace ibrar;
+  using namespace ibrar::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  const std::int64_t bench_threads = env::get_int(
+      "IBRAR_BENCH_THREADS", hc == 0 ? 4 : static_cast<long>(hc));
+  const int reps = smoke ? 1 : 5;
+
+  std::vector<ShapeSpec> shapes;
+  if (smoke) {
+    shapes = {{64, 64, 64, "smoke"}, {37, 300, 19, "smoke ragged"}};
+  } else {
+    shapes = {
+        {256, 256, 256, "square"},
+        {384, 384, 384, "square, k>KC"},
+        {4096, 288, 64, "im2col conv3x3 c32 f64"},
+        {250, 301, 70, "ragged"},
+        {100, 48, 32, "mlp layer"},
+    };
+  }
+
+  std::printf("=== GEMM A/B: seed ikj vs packed (1 thread), packed at %lld "
+              "lanes ===\n",
+              static_cast<long long>(bench_threads));
+  Table table({"shape", "seed (ms)", "packed (ms)", "speedup", "GFLOP/s",
+               "bits=seed", "bits 1=N"});
+  // Smoke runs (the CTest target) write their own file so a stray ctest never
+  // clobbers the curated BENCH_pr2.json / IBRAR_BENCH_OUT record.
+  JsonReporter reporter(smoke ? "BENCH_smoke.json" : "");
+  bool ok = true;
+  for (const auto& s : shapes) {
+    ok = run_shape(reporter, table, s, reps, bench_threads) && ok;
+  }
+  table.print();
+  reporter.write();
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: bit-identity mismatch (packed vs seed, or 1 vs N "
+                 "lanes)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "reporter.hpp"
+
 #include "autograd/ops.hpp"
 #include "attacks/pgd.hpp"
 #include "data/registry.hpp"
@@ -125,42 +127,39 @@ BENCHMARK(BM_PGDStep);
 
 namespace {
 
-/// Best-of-reps wall time of fn() in milliseconds.
-template <typename F>
-double time_ms(F&& fn, int reps = 3) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    Stopwatch sw;
-    fn();
-    best = std::min(best, sw.seconds() * 1e3);
-  }
-  return best;
-}
-
 /// One row of the scaling table: run `work` (returning a checksum tensor) at
-/// 1 lane and at `threads` lanes, report the speedup and bit-equality.
+/// 1 lane and at `threads` lanes, report the speedup and bit-equality — to
+/// the console table and as structured records in the JSON perf log.
 template <typename F>
-void scaling_row(Table& table, const char* name, std::int64_t threads, F&& work) {
+void scaling_row(Table& table, bench::JsonReporter& rep, const char* name,
+                 std::int64_t threads, F&& work) {
   runtime::set_num_threads(1);
   Tensor ref;
-  const double t1 = time_ms([&] { ref = work(); });
+  const double t1 = bench::time_best_ms([&] { ref = work(); });
   runtime::set_num_threads(threads);
   Tensor par;
-  const double tn = time_ms([&] { par = work(); });
-  bool identical = ref.same_shape(par);
-  if (identical) {
-    for (std::int64_t i = 0; i < ref.numel(); ++i) {
-      if (ref[i] != par[i]) {
-        identical = false;
-        break;
-      }
-    }
-  }
+  const double tn = bench::time_best_ms([&] { par = work(); });
+  const bool identical = bench::tensor_bits_equal(ref, par);
   char t1s[32], tns[32], sp[32];
   std::snprintf(t1s, sizeof(t1s), "%.2f", t1);
   std::snprintf(tns, sizeof(tns), "%.2f", tn);
   std::snprintf(sp, sizeof(sp), "%.2fx", tn > 0 ? t1 / tn : 0.0);
   table.add_row({name, t1s, tns, sp, identical ? "yes" : "NO"});
+
+  bench::BenchRecord rec;
+  rec.kernel = name;
+  rec.shape = "scaling";
+  rec.ns_per_op = t1 * 1e6;
+  rec.threads = 1;
+  rec.checksum = bench::tensor_checksum(ref);
+  rep.add(rec);
+  rec.ns_per_op = tn * 1e6;
+  rec.threads = threads;
+  // Checksum the parallel result separately: on a bit-identity regression the
+  // two rows must show WHAT diverged, not just that it did.
+  rec.checksum = bench::tensor_checksum(par);
+  rec.bit_identical = identical;
+  rep.add(rec);
 }
 
 void print_scaling_table() {
@@ -181,14 +180,18 @@ void print_scaling_table() {
   const Tensor ex = rand_uniform({1 << 20}, rng, -4.0f, 4.0f);
 
   Table table({"kernel", "t1 (ms)", "tN (ms)", "speedup", "bit-identical"});
-  scaling_row(table, "gemm 384^3", threads, [&] { return matmul(a, b); });
-  scaling_row(table, "conv2d 32x8x16x16", threads,
+  // Fixed path on purpose: sharing IBRAR_BENCH_OUT with bench_gemm would let
+  // the two runs clobber each other's records.
+  bench::JsonReporter reporter("BENCH_micro.json");
+  scaling_row(table, reporter, "gemm 384^3", threads, [&] { return matmul(a, b); });
+  scaling_row(table, reporter, "conv2d 32x8x16x16", threads,
               [&] { return conv2d(cx, cw, nullptr, spec); });
-  scaling_row(table, "hsic m=200", threads, [&] {
+  scaling_row(table, reporter, "hsic m=200", threads, [&] {
     return Tensor::scalar(mi::hsic_gaussian(hx, hy));
   });
-  scaling_row(table, "exp 1M", threads, [&] { return ibrar::exp(ex); });
+  scaling_row(table, reporter, "exp 1M", threads, [&] { return ibrar::exp(ex); });
   table.print();
+  reporter.write();
   std::printf("\n");
 
   // Leave the pool at the benched width for the google-benchmark suite.

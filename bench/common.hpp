@@ -23,6 +23,9 @@
 #include "train/mart.hpp"
 #include "train/trades.hpp"
 #include "train/vib.hpp"
+// Re-exported like the attack/train headers above: any table/figure bench
+// can emit BENCH_*.json perf records without its own include.
+#include "reporter.hpp"
 #include "util/env.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"

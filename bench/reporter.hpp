@@ -1,0 +1,138 @@
+#pragma once
+// Structured perf-regression reporter.
+//
+// Benches append BenchRecord rows and write one JSON document per run
+// (default BENCH_pr2.json, override with IBRAR_BENCH_OUT). The schema is flat
+// on purpose — one record per (kernel, shape, threads) — so future sessions
+// can diff trajectories with nothing fancier than python -m json.tool:
+//
+//   {"schema": "ibrar-bench-v1", "records": [
+//     {"kernel": "gemm_packed", "shape": "256x256x256", "ns_per_op": ...,
+//      "gflops": ..., "threads": 1, "checksum": ..., "speedup_vs_naive": ...},
+//     ...]}
+//
+// Checksums are the full sum of the output buffer, printed with %.9g so
+// numeric drift shows up as a JSON diff. (A single-ulp change in one element
+// can still round away in the sum — the benches' bit_identical gates, which
+// memcmp whole buffers, are the exact check; the checksum is the greppable
+// trail.)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ibrar::bench {
+
+/// Best-of-reps wall time of fn() in milliseconds.
+template <typename F>
+double time_best_ms(F&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds() * 1e3);
+  }
+  return best;
+}
+
+/// Full-buffer sum in double (the `checksum` field of a record).
+inline double tensor_checksum(const Tensor& t) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) s += t[i];
+  return s;
+}
+
+/// Exact bit equality (memcmp, so identical NaN payloads compare equal) —
+/// the determinism gate behind every `bit_identical` field.
+inline bool tensor_bits_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+struct BenchRecord {
+  std::string kernel;
+  std::string shape;            ///< "MxKxN" or kernel-specific
+  double ns_per_op = 0.0;
+  double gflops = 0.0;
+  std::int64_t threads = 1;
+  double checksum = 0.0;
+  double speedup_vs_naive = 0.0;  ///< 0 = not an A/B row
+  bool bit_identical = true;      ///< vs the 1-thread / naive reference
+};
+
+class JsonReporter {
+ public:
+  /// `path` empty = IBRAR_BENCH_OUT or "BENCH_pr2.json".
+  explicit JsonReporter(std::string path = "")
+      : path_(path.empty() ? env::get_string("IBRAR_BENCH_OUT", "BENCH_pr2.json")
+                           : std::move(path)) {}
+
+  void add(BenchRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Write the document; throws std::runtime_error on I/O failure.
+  void write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      throw std::runtime_error("JsonReporter: cannot open " + path_);
+    }
+    std::fprintf(f, "{\"schema\": \"ibrar-bench-v1\", \"records\": [");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(
+          f,
+          "%s\n  {\"kernel\": \"%s\", \"shape\": \"%s\", \"ns_per_op\": %s, "
+          "\"gflops\": %s, \"threads\": %lld, \"checksum\": %s, "
+          "\"speedup_vs_naive\": %s, \"bit_identical\": %s}",
+          i == 0 ? "" : ",", escape(r.kernel).c_str(), escape(r.shape).c_str(),
+          num(r.ns_per_op, "%.1f").c_str(), num(r.gflops, "%.3f").c_str(),
+          static_cast<long long>(r.threads), num(r.checksum, "%.9g").c_str(),
+          num(r.speedup_vs_naive, "%.3f").c_str(),
+          r.bit_identical ? "true" : "false");
+    }
+    std::fprintf(f, "\n]}\n");
+    if (std::fclose(f) != 0) {
+      throw std::runtime_error("JsonReporter: write failed for " + path_);
+    }
+    std::fprintf(stderr, "[bench] wrote %zu records to %s\n", records_.size(),
+                 path_.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  /// JSON number, or null for non-finite values (a NaN checksum is exactly
+  /// the regression this file exists to record — it must stay parseable).
+  static std::string num(double v, const char* fmt) {
+    if (!std::isfinite(v)) return "null";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(ch) >= 0x20) out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace ibrar::bench

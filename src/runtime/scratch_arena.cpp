@@ -1,0 +1,23 @@
+#include "runtime/scratch_arena.hpp"
+
+namespace ibrar::runtime {
+
+float* ScratchArena::floats(std::size_t slot, std::size_t floats) {
+  const std::size_t want = floats * sizeof(float);
+  if (bytes_[slot] < want) {
+    // Grow geometrically so alternating shapes don't reallocate every call.
+    std::size_t cap = bytes_[slot] == 0 ? 4096 : bytes_[slot];
+    while (cap < want) cap *= 2;
+    buf_[slot].reset(static_cast<float*>(
+        ::operator new[](cap, std::align_val_t{kScratchAlign})));
+    bytes_[slot] = cap;
+  }
+  return buf_[slot].get();
+}
+
+ScratchArena& lane_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace ibrar::runtime

@@ -1,0 +1,51 @@
+#pragma once
+// Per-lane scratch memory for kernel workspaces.
+//
+// Packing-based kernels (the blocked GEMM in tensor/gemm_packed.*) need a few
+// hundred KB of temporary panel storage per executing lane. Allocating it per
+// call would put malloc on the hottest path in the library, so each OS thread
+// owns one lazily-grown ScratchArena that is reused across calls for the
+// lifetime of the thread. Pool lanes are long-lived (the global ThreadPool
+// never recycles its workers), so in steady state every lane settles at the
+// high-water mark of the kernels it runs and no further allocation happens.
+//
+// Buffers are aligned to kScratchAlign (one cache line, and wide enough for
+// any SIMD width the compiler vectorizes with) and are uninitialized: callers
+// must treat the contents as garbage until they pack into them.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace ibrar::runtime {
+
+inline constexpr std::size_t kScratchAlign = 64;
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Aligned buffer of at least `floats` elements, valid until the next
+  /// resize of the same slot. Slot 0 and slot 1 are independent (a kernel can
+  /// hold an A-panel and a B-panel simultaneously).
+  float* floats(std::size_t slot, std::size_t floats);
+
+  /// High-water mark in bytes across both slots (for tests/telemetry).
+  std::size_t capacity_bytes() const { return bytes_[0] + bytes_[1]; }
+
+ private:
+  struct AlignedFree {
+    void operator()(float* p) const { ::operator delete[](p, std::align_val_t{kScratchAlign}); }
+  };
+  static constexpr std::size_t kSlots = 2;
+  std::unique_ptr<float[], AlignedFree> buf_[kSlots];
+  std::size_t bytes_[kSlots] = {0, 0};
+};
+
+/// The calling thread's arena (thread_local; one per pool lane plus one for
+/// the main thread and any user thread that calls into the library).
+ScratchArena& lane_arena();
+
+}  // namespace ibrar::runtime

@@ -1,0 +1,203 @@
+#include "tensor/gemm_packed.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/scratch_arena.hpp"
+
+namespace ibrar {
+namespace {
+
+inline std::int64_t round_up(std::int64_t v, std::int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+/// A-panel pack: rows [ic, ic+mc) x depth [pc, pc+kc) into MR-row strips,
+/// p-major within a strip (strip s holds kc * MR floats; element (p, r) of
+/// strip s is A(ic + s*MR + r, pc + p)). Rows past mc are zero-filled so the
+/// micro-kernel never branches on the row edge.
+void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t ic,
+            std::int64_t mc, std::int64_t pc, std::int64_t kc, float* ap) {
+  for (std::int64_t ir = 0; ir < mc; ir += kGemmMR) {
+    const std::int64_t mr = std::min(kGemmMR, mc - ir);
+    float* dst = ap + ir * kc;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t r = 0; r < kGemmMR; ++r) {
+        const std::int64_t i = ic + ir + r;
+        const std::int64_t pp = pc + p;
+        dst[p * kGemmMR + r] =
+            r < mr ? (trans ? a[pp * lda + i] : a[i * lda + pp]) : 0.0f;
+      }
+    }
+  }
+}
+
+/// B-panel pack: depth [pc, pc+kc) x cols [jc, jc+nc) into NR-column strips,
+/// p-major within a strip. Columns past nc are zero-filled.
+void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t pc,
+            std::int64_t kc, std::int64_t jc, std::int64_t nc, float* bp) {
+  for (std::int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const std::int64_t nr = std::min(kGemmNR, nc - jr);
+    float* dst = bp + jr * kc;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::int64_t pp = pc + p;
+      for (std::int64_t j = 0; j < kGemmNR; ++j) {
+        const std::int64_t col = jc + jr + j;
+        dst[p * kGemmNR + j] =
+            j < nr ? (trans ? b[col * ldb + pp] : b[pp * ldb + col]) : 0.0f;
+      }
+    }
+  }
+}
+
+/// One NR-wide SIMD row of the register tile. GCC/Clang lower arithmetic on
+/// this type to packed fma of whatever width the target has (one zmm, two
+/// ymm, four xmm...). Per lane each operation is the same scalar fma the
+/// naive chain performs, so vectorization does not change any element's
+/// rounding sequence.
+typedef float VecNR __attribute__((vector_size(sizeof(float) * kGemmNR)));
+
+/// MR x NR register-tiled kernel: extend the per-element fma chain of the
+/// C tile at `c` (leading dimension ldc) by kc steps from packed strips
+/// ap (kc x MR) and bp (kc x NR). The accumulators are named so they stay in
+/// registers; C is read once before and written once after the kc loop, so
+/// the rounding sequence per element is exactly the naive ascending-p chain.
+/// Loads/stores go through memcpy in-line (VecNR never crosses a function
+/// boundary: passing a 64-byte vector by value is an ABI warning on targets
+/// without 512-bit registers).
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc) {
+  static_assert(kGemmMR == 4, "micro_kernel is written for MR == 4");
+  VecNR acc0, acc1, acc2, acc3;
+  std::memcpy(&acc0, c, sizeof acc0);
+  std::memcpy(&acc1, c + ldc, sizeof acc1);
+  std::memcpy(&acc2, c + 2 * ldc, sizeof acc2);
+  std::memcpy(&acc3, c + 3 * ldc, sizeof acc3);
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kGemmMR;
+    VecNR brow;
+    std::memcpy(&brow, bp + p * kGemmNR, sizeof brow);
+    acc0 += arow[0] * brow;
+    acc1 += arow[1] * brow;
+    acc2 += arow[2] * brow;
+    acc3 += arow[3] * brow;
+  }
+  std::memcpy(c, &acc0, sizeof acc0);
+  std::memcpy(c + ldc, &acc1, sizeof acc1);
+  std::memcpy(c + 2 * ldc, &acc2, sizeof acc2);
+  std::memcpy(c + 3 * ldc, &acc3, sizeof acc3);
+}
+
+/// Edge-tile wrapper: run the full-size kernel on a stack tile and copy the
+/// valid mr x nr region in and out. The copies don't round, so edge elements
+/// see the same chain as interior ones.
+void micro_kernel_edge(std::int64_t kc, const float* ap, const float* bp,
+                       float* c, std::int64_t ldc, std::int64_t mr,
+                       std::int64_t nr) {
+  float tile[kGemmMR * kGemmNR] = {};
+  for (std::int64_t r = 0; r < mr; ++r)
+    for (std::int64_t j = 0; j < nr; ++j)
+      tile[r * kGemmNR + j] = c[r * ldc + j];
+  micro_kernel(kc, ap, bp, tile, kGemmNR);
+  for (std::int64_t r = 0; r < mr; ++r)
+    for (std::int64_t j = 0; j < nr; ++j)
+      c[r * ldc + j] = tile[r * kGemmNR + j];
+}
+
+}  // namespace
+
+void gemm_naive(const float* a, GemmLayout la, const float* b, GemmLayout lb,
+                float* c, std::int64_t m, std::int64_t k, std::int64_t n) {
+  const std::int64_t lda = la == GemmLayout::kRowMajor ? k : m;
+  const std::int64_t ldb = lb == GemmLayout::kRowMajor ? n : k;
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = la == GemmLayout::kRowMajor ? a[i * lda + p] : a[p * lda + i];
+      if (lb == GemmLayout::kRowMajor) {
+        const float* bp = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * b[j * ldb + p];
+      }
+    }
+  }
+}
+
+void gemm_packed(const float* a, GemmLayout la, const float* b, GemmLayout lb,
+                 float* c, std::int64_t m, std::int64_t k, std::int64_t n) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * k * n < kGemmSmallVolume) {
+    // Packing overhead dominates down here; the naive chain is bit-identical
+    // so the dispatch is numerically unobservable.
+    gemm_naive(a, la, b, lb, c, m, k, n);
+    return;
+  }
+  const std::int64_t lda = la == GemmLayout::kRowMajor ? k : m;
+  const std::int64_t ldb = lb == GemmLayout::kRowMajor ? n : k;
+  const bool ta = la == GemmLayout::kTransposed;
+  const bool tb = lb == GemmLayout::kTransposed;
+
+  // Pack ALL of B once, up front, into the caller's arena: panels laid out
+  // jc-major then pc, so the loop nest below indexes them directly. Workers
+  // read the shared packed B (packing copies values without rounding, so a
+  // shared pack is exactly as bit-deterministic as a per-lane one) — with T
+  // lanes this does 1x the packing traffic instead of Tx, which matters for
+  // short-m GEMMs like the conv weight-gradient matmul_tn. Total size is
+  // n (NR-padded per jc block) x k floats — the same order as B itself.
+  const std::int64_t n_padded = round_up(n % kGemmNC == 0 ? 0 : n % kGemmNC,
+                                         kGemmNR) +
+                                (n / kGemmNC) * kGemmNC;
+  runtime::ScratchArena& caller_arena = runtime::lane_arena();
+  float* bpacked =
+      caller_arena.floats(1, static_cast<std::size_t>(n_padded * k));
+  for (std::int64_t jc = 0, jbase = 0; jc < n; jc += kGemmNC) {
+    const std::int64_t nc = std::min(kGemmNC, n - jc);
+    const std::int64_t ncp = round_up(nc, kGemmNR);
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+      const std::int64_t kc = std::min(kGemmKC, k - pc);
+      pack_b(b, ldb, tb, pc, kc, jc, nc, bpacked + jbase * k + ncp * pc);
+    }
+    jbase += ncp;
+  }
+
+  // Split C row-panels across lanes; each lane packs only its own A panels.
+  // The per-element instruction sequence never depends on the split.
+  runtime::parallel_for(
+      0, m, runtime::grain_for(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+        runtime::ScratchArena& arena = runtime::lane_arena();
+        for (std::int64_t jc = 0, jbase = 0; jc < n; jc += kGemmNC) {
+          const std::int64_t nc = std::min(kGemmNC, n - jc);
+          const std::int64_t ncp = round_up(nc, kGemmNR);
+          for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+            const std::int64_t kc = std::min(kGemmKC, k - pc);
+            const float* bpanel = bpacked + jbase * k + ncp * pc;
+            for (std::int64_t ic = i0; ic < i1; ic += kGemmMC) {
+              const std::int64_t mc = std::min(kGemmMC, i1 - ic);
+              const std::int64_t mcp = round_up(mc, kGemmMR);
+              float* apanel =
+                  arena.floats(0, static_cast<std::size_t>(kc * mcp));
+              pack_a(a, lda, ta, ic, mc, pc, kc, apanel);
+              for (std::int64_t jr = 0; jr < nc; jr += kGemmNR) {
+                const std::int64_t nr = std::min(kGemmNR, nc - jr);
+                const float* bstrip = bpanel + jr * kc;
+                for (std::int64_t ir = 0; ir < mc; ir += kGemmMR) {
+                  const std::int64_t mr = std::min(kGemmMR, mc - ir);
+                  const float* astrip = apanel + ir * kc;
+                  float* ctile = c + (ic + ir) * n + jc + jr;
+                  if (mr == kGemmMR && nr == kGemmNR) {
+                    micro_kernel(kc, astrip, bstrip, ctile, n);
+                  } else {
+                    micro_kernel_edge(kc, astrip, bstrip, ctile, n, mr, nr);
+                  }
+                }
+              }
+            }
+          }
+          jbase += ncp;
+        }
+      });
+}
+
+}  // namespace ibrar

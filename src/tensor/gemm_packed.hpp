@@ -1,0 +1,59 @@
+#pragma once
+// Cache-blocked, panel-packed SGEMM micro-kernel (BLIS-style).
+//
+// The driver tiles C into MC x NC macro-blocks, packs the corresponding
+// A (MC x KC) and B (KC x NC) panels into contiguous, SIMD-friendly strips in
+// the per-lane scratch arena, and walks the block with a register-tiled
+// MR x NR inner kernel. Both operands can be consumed transposed, which is
+// how matmul_tn / matmul_nt reuse the same kernel without materializing the
+// transpose.
+//
+// Determinism and exactness contract:
+//  * The accumulation for every C element is the plain ascending-p chain
+//    c = fma(a[i,p], b[p,j], c) — the micro-kernel loads the C tile, extends
+//    the chain across KC blocks in ascending order, and stores it back. The
+//    result is therefore bit-identical to the textbook ikj triple loop
+//    (gemm_naive below) for ANY m, k, n, and to itself at any blocking.
+//  * Parallelism splits C row-panels across pool lanes; each element is
+//    produced by exactly one lane with the same instruction sequence as the
+//    serial loop, so results are bit-identical at any thread count (the PR-1
+//    runtime guarantee).
+//  * There is deliberately no zero-skip shortcut: 0 * NaN and 0 * Inf must
+//    propagate NaN and -0/+0 must follow IEEE addition, exactly as the naive
+//    chain does (see tests/test_gemm.cpp).
+
+#include <cstdint>
+
+namespace ibrar {
+
+/// How a raw operand buffer is to be read.
+enum class GemmLayout {
+  kRowMajor,    ///< element (r, c) at buf[r * ld + c]
+  kTransposed,  ///< element (r, c) at buf[c * ld + r] (stored transposed)
+};
+
+/// Register tile: MR rows x NR columns of C per inner-kernel invocation.
+inline constexpr std::int64_t kGemmMR = 4;
+inline constexpr std::int64_t kGemmNR = 16;
+/// Cache blocking: A panels are MC x KC (~L2), B strips KC x NR (~L1),
+/// B panels KC x NC (~L3).
+inline constexpr std::int64_t kGemmMC = 128;
+inline constexpr std::int64_t kGemmKC = 256;
+inline constexpr std::int64_t kGemmNC = 512;
+
+/// Below this m*k*n volume the packing overhead outweighs the blocking win
+/// and the driver falls back to the (bit-identical) naive loop.
+inline constexpr std::int64_t kGemmSmallVolume = 32 * 32 * 32;
+
+/// C(m,n) += op(A)(m,k) * op(B)(k,n), C row-major with leading dimension n.
+/// op(X) is X read through its GemmLayout; leading dimensions are implied
+/// (A: k row-major / m transposed; B: n row-major / k transposed).
+void gemm_packed(const float* a, GemmLayout la, const float* b, GemmLayout lb,
+                 float* c, std::int64_t m, std::int64_t k, std::int64_t n);
+
+/// Reference ikj triple loop with the identical accumulation chain (no
+/// zero-skip, no blocking). Serial; exposed for tests and the A/B bench.
+void gemm_naive(const float* a, GemmLayout la, const float* b, GemmLayout lb,
+                float* c, std::int64_t m, std::int64_t k, std::int64_t n);
+
+}  // namespace ibrar

@@ -2,37 +2,13 @@
 
 #include <stdexcept>
 
-#include "runtime/parallel_for.hpp"
+#include "tensor/gemm_packed.hpp"
 
 namespace ibrar {
-namespace {
-
-/// Rows per parallel block so tiny GEMMs stay serial: each block should carry
-/// at least kMinParallelWork multiply-adds.
-std::int64_t row_grain(std::int64_t k, std::int64_t n) {
-  return runtime::grain_for(k * n);
-}
-
-}  // namespace
 
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
-  // ikj ordering: the inner loop runs over contiguous rows of B and C, which
-  // GCC/Clang vectorize well; a[i*k+p] is a scalar across the inner loop.
-  // Rows of C are independent, so the row range splits across the pool with
-  // bit-identical per-row arithmetic.
-  runtime::parallel_for(0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* ci = c + i * n;
-      const float* ai = a + i * k;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = ai[p];
-        if (av == 0.0f) continue;  // im2col matrices are often sparse post-ReLU
-        const float* bp = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-      }
-    }
-  });
+  gemm_packed(a, GemmLayout::kRowMajor, b, GemmLayout::kRowMajor, c, m, k, n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -44,63 +20,38 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const auto k = a.dim(1);
   const auto n = b.dim(1);
   Tensor c({m, n});
-  gemm_accumulate(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+              GemmLayout::kRowMajor, c.data().data(), m, k, n);
   return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
-    throw std::invalid_argument("matmul_tn: bad shapes");
+    throw std::invalid_argument("matmul_tn: bad shapes " + shape_str(a.shape()) +
+                                " x " + shape_str(b.shape()));
   }
   const auto k = a.dim(0);  // shared dim
   const auto m = a.dim(1);
   const auto n = b.dim(1);
   Tensor c({m, n});
-  // C[i,j] = sum_p A[p,i] B[p,j]. Each block owns a contiguous row range of C
-  // and walks p outermost, so B rows stream through cache once per block and
-  // the per-element accumulation order matches the serial loop exactly.
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  runtime::parallel_for(0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float* ap = pa + p * m;
-      const float* bp = pb + p * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float av = ap[i];
-        if (av == 0.0f) continue;
-        float* ci = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-      }
-    }
-  });
+  // C = A^T B: the packed kernel reads A through its transposed layout, so no
+  // transpose is ever materialized.
+  gemm_packed(a.data().data(), GemmLayout::kTransposed, b.data().data(),
+              GemmLayout::kRowMajor, c.data().data(), m, k, n);
   return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
-    throw std::invalid_argument("matmul_nt: bad shapes");
+    throw std::invalid_argument("matmul_nt: bad shapes " + shape_str(a.shape()) +
+                                " x " + shape_str(b.shape()));
   }
   const auto m = a.dim(0);
   const auto k = a.dim(1);
   const auto n = b.dim(0);
   Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // C[i,j] = dot(A_row_i, B_row_j): both rows contiguous, rows independent.
-  runtime::parallel_for(0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* ai = pa + i * k;
-      float* ci = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* bj = pb + j * k;
-        float s = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-        ci[j] = s;
-      }
-    }
-  });
+  gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+              GemmLayout::kTransposed, c.data().data(), m, k, n);
   return c;
 }
 

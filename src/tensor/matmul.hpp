@@ -1,9 +1,13 @@
 #pragma once
-// Row-blocked GEMM, parallelized over the runtime thread pool. The models are
-// tiny but conv-as-im2col makes matmul the hot loop, so these kernels are
-// written for the compiler to auto-vectorize (contiguous inner loops,
-// restrict-style locals) and split output rows across lanes with per-row
-// arithmetic identical to the serial loop (bit-reproducible results).
+// GEMM entry points, backed by the cache-blocked packed micro-kernel in
+// gemm_packed.*. Conv-as-im2col makes matmul the hot loop of every workload
+// (training, the attack suite, the HSIC/Gram MI estimators), so all three
+// variants lower onto one panel-packed kernel that reuses per-lane scratch
+// buffers and splits C row-panels across the pool with per-element arithmetic
+// identical to the serial loop (bit-reproducible at any thread count).
+//
+// No zero-skip shortcuts: IEEE special values (NaN, Inf, signed zero)
+// propagate exactly as in the textbook triple loop.
 
 #include "tensor/tensor.hpp"
 

@@ -247,6 +247,84 @@ TEST(ConvGrad, GlobalAvgPool) {
   EXPECT_TRUE(gradcheck(fn, {Var::param(x)}).ok);
 }
 
+TEST(ConvGrad, StrideTwoNonSquareIndivisible) {
+  // H=5, W=4 at stride 2: the window grid covers the two dimensions
+  // differently and the last input column is only reached through padding
+  // (implicit asymmetric coverage) — gradients to those cells must still be
+  // exact.
+  Rng rng(61);
+  Tensor x = randn({1, 2, 5, 4}, rng, 0, 0.5f);
+  Tensor w = randn({2, 2, 3, 3}, rng, 0, 0.3f);
+  const Conv2dSpec spec{3, 2, 1};
+  auto fn = [&](const std::vector<Var>& in) {
+    return mean(square(conv2d(in[0], in[1], Var(), spec)));
+  };
+  EXPECT_TRUE(gradcheck(fn, {Var::param(x), Var::param(w)}, 1e-2, 8e-2).ok);
+}
+
+TEST(ConvGrad, KernelLargerThanInput) {
+  // 5x5 kernel over a 3x4 image with pad 2: every window hangs off at least
+  // one edge, so im2col's zero-fill and col2im's bounds checks carry the
+  // whole gradient.
+  Rng rng(67);
+  Tensor x = randn({1, 1, 3, 4}, rng, 0, 0.5f);
+  Tensor w = randn({2, 1, 5, 5}, rng, 0, 0.2f);
+  const Conv2dSpec spec{5, 1, 2};
+  auto fn = [&](const std::vector<Var>& in) {
+    return mean(square(conv2d(in[0], in[1], Var(), spec)));
+  };
+  EXPECT_TRUE(gradcheck(fn, {Var::param(x), Var::param(w)}, 1e-2, 8e-2).ok);
+}
+
+TEST(ConvGrad, KernelEqualsInputNoPad) {
+  // Degenerate 1x1 output: conv collapses to a dot product per filter.
+  Rng rng(71);
+  Tensor x = randn({2, 2, 3, 3}, rng, 0, 0.5f);
+  Tensor w = randn({3, 2, 3, 3}, rng, 0, 0.3f);
+  Tensor b = randn({3}, rng, 0, 0.3f);
+  const Conv2dSpec spec{3, 1, 0};
+  auto fn = [&](const std::vector<Var>& in) {
+    return mean(square(conv2d(in[0], in[1], in[2], spec)));
+  };
+  EXPECT_TRUE(gradcheck(fn, {Var::param(x), Var::param(w), Var::param(b)},
+                        1e-2, 8e-2).ok);
+}
+
+TEST(ConvGrad, StridedConvIndivisibleStride) {
+  // (6 + 2*1 - 3) / 2 + 1 = 3: output rows sample inputs 0/2/4 and row 5
+  // feeds gradients only through the padded last window.
+  Rng rng(73);
+  Tensor x = randn({1, 1, 6, 5}, rng, 0, 0.5f);
+  Tensor w = randn({1, 1, 3, 3}, rng, 0, 0.3f);
+  const Conv2dSpec spec{3, 2, 1};
+  auto fn = [&](const std::vector<Var>& in) {
+    return mean(square(conv2d(in[0], in[1], Var(), spec)));
+  };
+  EXPECT_TRUE(gradcheck(fn, {Var::param(x), Var::param(w)}, 1e-2, 8e-2).ok);
+}
+
+TEST(ConvGrad, MaxPoolDropsRaggedEdge) {
+  // 5x5 pooled by 2/2 -> 2x2: the last row/column fall outside every window
+  // and must receive exactly zero gradient.
+  Rng rng(79);
+  Tensor x = randn({1, 2, 5, 5}, rng);
+  auto fn = [](const std::vector<Var>& in) {
+    return mean(square(maxpool2d(in[0], 2, 2)));
+  };
+  EXPECT_TRUE(gradcheck(fn, {Var::param(x)}).ok);
+
+  Var xv = Var::param(x);
+  Var loss = mean(square(maxpool2d(xv, 2, 2)));
+  loss.backward();
+  const Tensor& g = xv.grad();
+  for (std::int64_t c = 0; c < 2; ++c) {
+    for (std::int64_t i = 0; i < 5; ++i) {
+      EXPECT_FLOAT_EQ(g.at(0, c, i, 4), 0.0f) << "edge col, c=" << c;
+      EXPECT_FLOAT_EQ(g.at(0, c, 4, i), 0.0f) << "edge row, c=" << c;
+    }
+  }
+}
+
 TEST(NormGrad, BatchNormTraining) {
   Rng rng(59);
   Tensor x = randn({3, 2, 3, 3}, rng);

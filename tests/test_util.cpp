@@ -6,6 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "autograd/var.hpp"
+#include "models/registry.hpp"
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
@@ -160,6 +164,57 @@ TEST(SerializeTest, RejectsCorruptMagic) {
 TEST(SerializeTest, MissingFileThrows) {
   EXPECT_THROW(serialize::load("/tmp/ibrar_does_not_exist.bin"),
                std::runtime_error);
+}
+
+TEST(SerializeTest, MiniVGGCheckpointRoundTripBitIdenticalLogits) {
+  // Save a MiniVGG, load it into a model built from a DIFFERENT seed, and
+  // require the restored logits to match the original bit for bit — the
+  // checkpoint must capture every parameter AND buffer (batch-norm running
+  // stats) exactly.
+  const std::string path = "/tmp/ibrar_test_vgg_roundtrip.ibrr";
+  models::ModelSpec spec;
+  spec.name = "vgg16";
+  spec.image_size = 8;
+
+  Rng rng(123);
+  auto model = models::make_model(spec, rng);
+  model->set_training(false);
+  Rng drng(9);
+  const Tensor x = rand_uniform({3, 3, 8, 8}, drng);
+  ag::NoGradGuard ng;
+  const Tensor logits = model->forward(ag::Var::constant(x)).value();
+  nn::save_model(*model, path);
+
+  Rng other_rng(999);  // different init: any leaked state would show up
+  auto restored = models::make_model(spec, other_rng);
+  restored->set_training(false);
+  nn::load_model(*restored, path);
+  const Tensor logits2 = restored->forward(ag::Var::constant(x)).value();
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(logits2.same_shape(logits));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_EQ(logits[i], logits2[i]) << "logit " << i;  // exact, not NEAR
+  }
+}
+
+TEST(SerializeTest, LoadRejectsShapeMismatch) {
+  // A checkpoint from a structurally different model must be refused, not
+  // silently truncated.
+  const std::string path = "/tmp/ibrar_test_vgg_mismatch.ibrr";
+  models::ModelSpec small;
+  small.name = "mlp";
+  Rng rng(5);
+  auto mlp = models::make_model(small, rng);
+  nn::save_model(*mlp, path);
+
+  models::ModelSpec big;
+  big.name = "vgg16";
+  big.image_size = 8;
+  Rng rng2(6);
+  auto vgg = models::make_model(big, rng2);
+  EXPECT_THROW(nn::load_model(*vgg, path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(StopwatchTest, MeasuresElapsed) {
