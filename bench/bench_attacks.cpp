@@ -1,0 +1,183 @@
+// Attack-engine A/B bench: active-set batch scheduling on vs off.
+//
+// Trains a partially-robust probe model (brief FGSM adversarial training on
+// synthetic CIFAR-10, so a realistic fraction of examples falls to the first
+// attack steps while the rest survive), then times each multi-step attack
+// twice — full batches vs the engine's active-set compaction — and records
+// per-attack ns/example in the ibrar-bench-v1 JSON schema (BENCH_pr3.json /
+// IBRAR_BENCH_OUT; --smoke writes BENCH_smoke_attacks.json).
+//
+//   kernel   = attack spec, "+active_set" suffix for the compacted run
+//   shape    = examples x C x H x W
+//   checksum = robust accuracy (the invariant the scheduler must preserve)
+//   speedup_vs_naive = full-batch seconds / active-set seconds
+//   bit_identical    = robust accuracy unchanged by the scheduler
+//
+// Exit status is nonzero if any attack's robust accuracy changes with the
+// active set on, so CI gates on the exactness contract; the speedup itself is
+// machine-dependent and recorded rather than gated.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.hpp"
+#include "data/registry.hpp"
+#include "models/registry.hpp"
+#include "reporter.hpp"
+#include "train/evaluate.hpp"
+#include "train/objective.hpp"
+#include "train/trainer.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace ibrar::bench {
+namespace {
+
+struct AttackCase {
+  std::string base_spec;  ///< without scheduling knobs
+  const char* note;
+};
+
+/// Robust accuracy + wall time of one spec over the probe set.
+struct RunResult {
+  double acc = 0.0;
+  double seconds = 0.0;
+};
+
+RunResult run_spec(models::TapClassifier& model, const data::Dataset& test,
+                   const std::string& spec, std::int64_t batch,
+                   std::int64_t samples) {
+  const auto report = train::evaluate_robust(
+      model, test, std::vector<std::string>{spec}, {batch, samples});
+  RunResult r;
+  r.acc = report.per_attack.front().robust_acc;
+  r.seconds = report.per_attack.front().seconds;
+  return r;
+}
+
+}  // namespace
+}  // namespace ibrar::bench
+
+int main(int argc, char** argv) {
+  using namespace ibrar;
+  using namespace ibrar::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::int64_t samples = smoke ? 40 : 200;
+  const std::int64_t batch = smoke ? 40 : 100;
+
+  // Partially-robust probe: brief FGSM adversarial training hardens a
+  // fraction of the examples so multi-step attacks retire the rest early —
+  // the regime the active-set scheduler exists for.
+  const auto data = data::make_dataset("synth-cifar10", smoke ? 200 : 400,
+                                       samples);
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  Rng rng(17);
+  auto model = models::make_model(spec, rng);
+  {
+    attacks::AttackConfig inner;
+    inner.steps = 1;
+    inner.alpha = inner.eps;
+    train::TrainConfig tc;
+    tc.epochs = smoke ? 2 : 6;
+    tc.batch_size = 100;
+    tc.track_train_acc = false;  // PR-3 knob: skip the per-batch extra forward
+    train::Trainer(model, std::make_shared<train::PGDATObjective>(inner), tc)
+        .fit(data.train);
+  }
+
+  std::vector<AttackCase> cases;
+  // best=step everywhere so the full-batch runs return min-margin iterates —
+  // the tracking mode under which active-set accuracy equality is exact by
+  // construction (see README "Active set and determinism").
+  if (smoke) {
+    cases = {{"pgd:steps=5,best=step", "smoke"},
+             {"fgsm:best=step->pgd:steps=5,best=step", "smoke composite"}};
+  } else {
+    cases = {
+        {"pgd:steps=10,best=step", "PGD10"},
+        {"pgd:steps=20,best=step", "PGD20"},
+        {"pgd:steps=40,best=step", "PGD40"},
+        {"pgd:steps=10,restarts=3,best=step", "PGD10 x3 restarts"},
+        {"fgsm:best=step->pgd:steps=20,best=step", "composite fgsm->pgd"},
+    };
+  }
+
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%lldx%lldx%lldx%lld",
+                static_cast<long long>(samples),
+                static_cast<long long>(data.test.channels()),
+                static_cast<long long>(data.test.height()),
+                static_cast<long long>(data.test.width()));
+
+  std::printf("=== attack engine A/B: full batches vs active-set scheduling "
+              "(%lld examples) ===\n",
+              static_cast<long long>(samples));
+  Table table({"attack", "full (ms)", "active (ms)", "speedup", "robust %",
+               "acc same"});
+  JsonReporter reporter(
+      smoke ? "BENCH_smoke_attacks.json"
+            : env::get_string("IBRAR_BENCH_OUT", "BENCH_pr3.json"));
+  bool ok = true;
+  for (const auto& c : cases) {
+    // Composite stages inherit the scheduling knob per stage.
+    std::string with_knob;
+    std::size_t pos = 0;
+    while (true) {
+      const auto cut = c.base_spec.find("->", pos);
+      const auto stage_end = cut == std::string::npos ? c.base_spec.size() : cut;
+      const std::string stage = c.base_spec.substr(pos, stage_end - pos);
+      with_knob += stage;
+      with_knob += stage.find(':') == std::string::npos ? ":active_set=1"
+                                                        : ",active_set=1";
+      if (cut == std::string::npos) break;
+      with_knob += "->";
+      pos = cut + 2;
+    }
+
+    const auto full = run_spec(*model, data.test, c.base_spec, batch, samples);
+    const auto active = run_spec(*model, data.test, with_knob, batch, samples);
+    const bool acc_same = full.acc == active.acc;
+    ok = ok && acc_same;
+    const double speedup =
+        active.seconds > 0 ? full.seconds / active.seconds : 0.0;
+
+    BenchRecord full_rec;
+    full_rec.kernel = c.base_spec;
+    full_rec.shape = shape;
+    full_rec.ns_per_op = samples > 0 ? full.seconds * 1e9 / samples : 0.0;
+    full_rec.threads = 1;
+    full_rec.checksum = full.acc;
+    reporter.add(full_rec);
+
+    BenchRecord active_rec = full_rec;
+    active_rec.kernel = c.base_spec + "+active_set";
+    active_rec.ns_per_op = samples > 0 ? active.seconds * 1e9 / samples : 0.0;
+    active_rec.checksum = active.acc;
+    active_rec.speedup_vs_naive = speedup;
+    active_rec.bit_identical = acc_same;
+    reporter.add(active_rec);
+
+    char f_ms[32], a_ms[32], sp[32], acc[32];
+    std::snprintf(f_ms, sizeof(f_ms), "%.1f", full.seconds * 1e3);
+    std::snprintf(a_ms, sizeof(a_ms), "%.1f", active.seconds * 1e3);
+    std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
+    std::snprintf(acc, sizeof(acc), "%.2f", 100 * active.acc);
+    table.add_row({std::string(c.note), f_ms, a_ms, sp, acc,
+                   acc_same ? "yes" : "NO"});
+  }
+  table.print();
+  reporter.write();
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: active-set scheduling changed robust accuracy\n");
+    return 1;
+  }
+  return 0;
+}

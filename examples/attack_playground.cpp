@@ -1,19 +1,12 @@
-// Attack playground: train a small model, then run every attack in the suite
-// against it at a few step counts, printing accuracy and perturbation norms.
-// A compact tour of the src/attacks API.
+// Attack playground: train a small model, then run the whole registry suite
+// against it via spec strings, printing accuracy and perturbation norms —
+// plus a composite "fgsm→pgd→cw" pipeline through the RobustReport driver.
+// A compact tour of the src/attacks engine + registry API.
 
 #include <cmath>
 #include <cstdio>
 
-#include "attacks/adaptive.hpp"
-#include "attacks/cw.hpp"
-#include "attacks/fab.hpp"
-#include "attacks/fgsm.hpp"
-#include "attacks/mifgsm.hpp"
-#include "attacks/nifgsm.hpp"
-#include "attacks/pgd.hpp"
-#include "attacks/square.hpp"
-#include "core/mi_loss.hpp"
+#include "attacks/registry.hpp"
 #include "data/registry.hpp"
 #include "models/registry.hpp"
 #include "train/evaluate.hpp"
@@ -62,64 +55,56 @@ int main() {
         .fit(data.train);
   }
 
-  std::vector<std::int64_t> idx(100);
-  for (std::int64_t i = 0; i < 100; ++i) idx[static_cast<std::size_t>(i)] = i;
-  const auto batch = data::make_batch(data.test, idx);
+  const auto batch = data::make_batch(data.test, 0, 100);
   const double clean = attacks::accuracy(*model, batch.x, batch.y);
   std::printf("clean accuracy on the probe batch: %.2f%%\n\n", 100 * clean);
 
-  Table table({"Attack", "Acc %", "mean L2", "max Linf", "eps budget"});
-  auto run = [&](attacks::Attack& atk) {
-    const Tensor adv = atk.perturb(*model, batch.x, batch.y);
-    const double acc = attacks::accuracy(*model, adv, batch.y);
-    const auto norms = perturbation_norms(adv, batch.x);
-    table.add_row({atk.name(), Table::num(100 * acc, 2),
-                   Table::num(norms.l2, 4), Table::num(norms.linf, 4),
-                   Table::num(atk.config().eps, 4)});
+  // The whole suite as registry specs — every attack is a string away.
+  const char* specs[] = {
+      "fgsm",
+      "pgd:steps=1",
+      "pgd:steps=10",
+      "pgd:steps=40",
+      "pgd:steps=10,active_set=1,best=step",  // engine's early-stop scheduler
+      "nifgsm:steps=10",
+      "mifgsm:steps=10",
+      "fab:steps=10",
+      "square:steps=200",  // black-box control: queries only, no gradients
+      "cw:steps=50,c=5",
+      "adaptive:steps=10,layers=4+5+6",  // defender's own VGG robust layers
   };
 
-  attacks::AttackConfig cfg;  // eps 8/255
-  attacks::FGSM fgsm(cfg);
-  run(fgsm);
-  for (const std::int64_t steps : {1L, 10L, 40L}) {
-    attacks::AttackConfig c = cfg;
-    c.steps = steps;
-    attacks::PGD pgd(c);
-    run(pgd);
-  }
-  {
-    attacks::AttackConfig c = cfg;
-    c.steps = 10;
-    attacks::NIFGSM ni(c);
-    run(ni);
-    attacks::MIFGSM mi_fgsm(c);
-    run(mi_fgsm);
-    attacks::FAB fab(c);
-    run(fab);
-  }
-  {
-    // Black-box control: no gradients, random-search queries only.
-    attacks::AttackConfig c = cfg;
-    c.steps = 200;
-    attacks::SquareAttack square(c);
-    run(square);
-  }
-  {
-    attacks::AttackConfig c = cfg;
-    c.steps = 50;
-    attacks::CW cw(c);
-    run(cw);  // L2 attack: Linf column exceeds eps by design
-  }
-  {
-    attacks::AttackConfig c = cfg;
-    c.steps = 10;
-    mi::IBObjectiveConfig ib;
-    ib.layer_indices = {4, 5, 6};  // VGG robust layers
-    attacks::AdaptivePGD adaptive(c, ib);
-    run(adaptive);
+  Table table({"Spec", "Acc %", "mean L2", "max Linf", "eps budget"});
+  for (const char* s : specs) {
+    auto atk = attacks::parse_spec(s);
+    const Tensor adv = atk->perturb(*model, batch.x, batch.y);
+    const double acc = attacks::accuracy(*model, adv, batch.y);
+    const auto norms = perturbation_norms(adv, batch.x);
+    table.add_row({s, Table::num(100 * acc, 2), Table::num(norms.l2, 4),
+                   Table::num(norms.linf, 4),
+                   Table::num(atk->config().eps, 4)});
   }
   table.print();
   std::printf("\nNote: CW is an L2 attack (Torchattacks convention), so its "
-              "Linf exceeds the 8/255 budget the Linf attacks respect.\n");
+              "Linf exceeds the 8/255 budget the Linf attacks respect.\n\n");
+
+  // Composite pipeline through the one-pass robust report: cheap attacks
+  // first, survivors forwarded to the expensive ones.
+  const auto report = train::evaluate_robust(
+      *model, data.test,
+      std::vector<std::string>{"fgsm->pgd:restarts=3->cw:steps=30"},
+      {100, 100});
+  std::printf("composite \"fgsm->pgd:restarts=3->cw\" over %lld examples "
+              "(clean %.2f%%):\n",
+              static_cast<long long>(report.examples),
+              100 * report.clean_acc);
+  for (const auto& stage : report.per_attack.front().stages) {
+    std::printf("  %-8s forwarded %3lld  newly fooled %3lld  cumulative "
+                "robust %.2f%%\n",
+                stage.name.c_str(), static_cast<long long>(stage.forwarded),
+                static_cast<long long>(stage.fooled), 100 * stage.robust_acc);
+  }
+  std::printf("worst-case accuracy (clean ∧ every stage): %.2f%%\n",
+              100 * report.worst_case_acc);
   return 0;
 }

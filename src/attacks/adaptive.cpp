@@ -1,31 +1,29 @@
 #include "attacks/adaptive.hpp"
 
-#include "tensor/ops.hpp"
-#include "tensor/random.hpp"
+#include "attacks/engine.hpp"
 
 namespace ibrar::attacks {
 
 Tensor AdaptivePGD::perturb(models::TapClassifier& model, const Tensor& x,
                             const std::vector<std::int64_t>& y) {
-  AttackModeGuard guard(model);
-  Tensor adv = x;
-  if (cfg_.random_start) {
-    adv = add(adv, rand_uniform(x.shape(), rng_, -cfg_.eps, cfg_.eps));
-    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-  }
-  const auto num_classes = model.num_classes();
-  for (std::int64_t s = 0; s < cfg_.steps; ++s) {
-    ag::Var input = ag::Var::param(adv);
-    auto out = model.forward_with_taps(input);
-    ag::Var loss = ag::cross_entropy(out.logits, y);
-    // The defender's regularizer, differentiated through both the input
-    // kernel K_X and the tap kernels K_T.
-    loss = ag::add(loss, mi::ib_objective(input, out.taps, y, num_classes, ib_));
-    loss.backward();
-    adv = add(adv, mul_scalar(sign(input.grad()), cfg_.alpha));
-    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-  }
-  return adv;
+  // PGD whose loss is the defender's full IB-RAR objective. The MI estimators
+  // couple examples through the batch Gram matrices, so the composition is
+  // declared batch-coupled (the engine rejects active_set for it).
+  engine::Spec spec;
+  spec.init = engine::Init::kUniformBall;
+  spec.step = engine::Step::kSign;
+  spec.batch_coupled_loss = true;
+  spec.loss = [this](models::TapClassifier& m, const ag::Var& input,
+                     const std::vector<std::int64_t>& labels,
+                     const std::vector<std::int64_t>& /*rows*/,
+                     ag::Var* logits_out) {
+    auto out = m.forward_with_taps(input);
+    *logits_out = out.logits;
+    ag::Var loss = ag::cross_entropy(out.logits, labels);
+    return ag::add(loss, mi::ib_objective(input, out.taps, labels,
+                                          m.num_classes(), ib_));
+  };
+  return engine::run(model, x, y, cfg_, spec, rng_);
 }
 
 }  // namespace ibrar::attacks

@@ -16,6 +16,15 @@
 
 namespace ibrar::attacks {
 
+/// Which iterate an engine-driven attack returns (see attacks/engine.hpp).
+enum class BestMode {
+  kAuto,         ///< attack-specific seed-parity default (PGD: per-restart
+                 ///< margin tracking when restarts > 1, else last iterate)
+  kLastIterate,  ///< classic PGD: whatever the last step produced
+  kPerRestart,   ///< lowest-margin trajectory endpoint across restarts
+  kPerStep,      ///< lowest-margin iterate across every step and restart
+};
+
 struct AttackConfig {
   float eps = 8.0f / 255.0f;    ///< Linf radius (CW interprets it loosely)
   float alpha = 2.0f / 255.0f;  ///< per-step size
@@ -25,6 +34,13 @@ struct AttackConfig {
   float clip_hi = 1.0f;
   bool random_start = true;     ///< PGD-style random init in the eps-ball
   std::uint64_t seed = 0xa77ac4;
+  /// Active-set batch scheduler: drop already-misclassified examples from the
+  /// working batch after each step so compute tracks the surviving set.
+  /// Implies kPerStep tracking (retired examples keep their min-margin
+  /// iterate), so against a best=step full-batch run it is cost-only.
+  /// Rejected (throw) by batch-coupled compositions (MI/NI, adaptive).
+  bool active_set = false;
+  BestMode track_best = BestMode::kAuto;
 };
 
 class Attack {

@@ -3,34 +3,12 @@
 #include <cmath>
 #include <limits>
 
+#include "attacks/engine.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
 
 namespace ibrar::attacks {
-namespace {
-
-/// Per-row index of the highest logit excluding the true class.
-std::vector<std::int64_t> best_wrong_class(const Tensor& logits,
-                                           const std::vector<std::int64_t>& y) {
-  const auto m = logits.dim(0), c = logits.dim(1);
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(m));
-  for (std::int64_t i = 0; i < m; ++i) {
-    float best = -std::numeric_limits<float>::infinity();
-    std::int64_t bj = y[static_cast<std::size_t>(i)] == 0 ? 1 : 0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      if (j == y[static_cast<std::size_t>(i)]) continue;
-      if (logits.at(i, j) > best) {
-        best = logits.at(i, j);
-        bj = j;
-      }
-    }
-    idx[static_cast<std::size_t>(i)] = bj;
-  }
-  return idx;
-}
-
-}  // namespace
 
 Tensor CW::perturb(models::TapClassifier& model, const Tensor& x,
                    const std::vector<std::int64_t>& y) {
@@ -55,55 +33,60 @@ Tensor CW::perturb(models::TapClassifier& model, const Tensor& x,
   Tensor v_t(x.shape());
   const float b1 = 0.9f, b2 = 0.999f, eps_adam = 1e-8f;
 
-  Tensor best_adv = x;
-  std::vector<float> best_l2(static_cast<std::size_t>(n),
-                             std::numeric_limits<float>::infinity());
+  // Engine primitives: per-example best tracking (metric = squared L2 of
+  // successful iterates) and, when cfg_.active_set is on, row compaction of
+  // the optimization state once an example has been fooled. The CW loss is a
+  // per-example sum, so surviving trajectories are unchanged by compaction;
+  // retired examples just stop shrinking their L2 (accuracy is unaffected).
+  engine::BestTracker tracker(x);
+  engine::ActiveSet active(n);
+  Tensor xw = x;
+  std::vector<std::int64_t> yw = y;
 
-  for (std::int64_t step = 0; step < cfg_.steps; ++step) {
+  for (std::int64_t step = 0; step < cfg_.steps && !active.empty(); ++step) {
     w.zero_grad();
     ag::Var adv = ag::mul_scalar(ag::add_scalar(ag::tanh(w), 1.0f), 0.5f);
     ag::Var logits = model.forward(adv);
 
     // f6 margin: max(Z_y - max_{j != y} Z_j, -kappa).
-    const auto wrong = best_wrong_class(logits.value(), y);
-    ag::Var real = ag::gather_cols(logits, y);
+    const auto wrong = engine::best_wrong_class(logits.value(), yw);
+    ag::Var real = ag::gather_cols(logits, yw);
     ag::Var other = ag::gather_cols(logits, wrong);
     ag::Var margin = ag::relu(ag::add_scalar(ag::sub(real, other), kappa_));
 
-    ag::Var dist = ag::sum(ag::square(ag::sub(adv, ag::Var::constant(x))));
+    ag::Var dist = ag::sum(ag::square(ag::sub(adv, ag::Var::constant(xw))));
     ag::Var loss = ag::add(dist, ag::mul_scalar(ag::sum(margin), c_));
     loss.backward();
 
-    // Track best (lowest-L2 successful) adversarial example per sample.
-    // Per-example batch loop: the L2 distances and copy-backs touch disjoint
-    // rows, so examples split across the pool.
+    // Track best (lowest-L2 successful) adversarial example per sample. The
+    // per-example L2 distances split across the pool; unfooled rows keep an
+    // infinite metric so they never displace a recorded success.
     const Tensor adv_now = adv.value();
     const auto pred = argmax_rows(logits.value());
+    const auto k = active.size();
+    std::vector<float> metric(static_cast<std::size_t>(k),
+                              std::numeric_limits<float>::infinity());
     runtime::parallel_for(
-        0, n, runtime::grain_for(img),
+        0, k, runtime::grain_for(img),
         [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
-        if (pred[static_cast<std::size_t>(i)] == y[static_cast<std::size_t>(i)]) {
-          continue;
-        }
+        const auto u = static_cast<std::size_t>(i);
+        if (pred[u] == yw[u]) continue;
         double l2 = 0.0;
-        for (std::int64_t k = 0; k < img; ++k) {
-          const double d = adv_now[i * img + k] - x[i * img + k];
+        for (std::int64_t c = 0; c < img; ++c) {
+          const double d = adv_now[i * img + c] - xw[i * img + c];
           l2 += d * d;
         }
-        if (l2 < best_l2[static_cast<std::size_t>(i)]) {
-          best_l2[static_cast<std::size_t>(i)] = static_cast<float>(l2);
-          std::copy_n(adv_now.data().begin() + i * img, img,
-                      best_adv.data().begin() + i * img);
-        }
+        metric[u] = static_cast<float>(l2);
       }
     });
+    tracker.update_rows(active.rows(), adv_now, metric);
 
     // Adam update on w.
     const Tensor& g = w.grad();
     const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step + 1));
     const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step + 1));
-    runtime::parallel_for(0, w0.numel(), runtime::kElementwiseGrain,
+    runtime::parallel_for(0, w.numel(), runtime::kElementwiseGrain,
                           [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
         m_t[i] = b1 * m_t[i] + (1 - b1) * g[i];
@@ -113,21 +96,38 @@ Tensor CW::perturb(models::TapClassifier& model, const Tensor& x,
         w.mutable_value()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_adam);
       }
     });
-  }
 
-  // Samples never fooled keep their final iterate (standard CW behaviour).
-  {
-    ag::NoGradGuard ng;
-    const Tensor final_adv =
-        ibrar::mul_scalar(ibrar::add_scalar(ibrar::tanh(w.value()), 1.0f), 0.5f);
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (std::isinf(best_l2[static_cast<std::size_t>(i)])) {
-        std::copy_n(final_adv.data().begin() + i * img, img,
-                    best_adv.data().begin() + i * img);
+    if (cfg_.active_set) {
+      // Retire fooled examples: their best iterate is recorded, so the
+      // remaining Adam steps only need to run on the survivors.
+      std::vector<char> keep(static_cast<std::size_t>(k));
+      bool any_drop = false;
+      for (std::int64_t i = 0; i < k; ++i) {
+        const bool fooled =
+            tracker.improved(active.rows()[static_cast<std::size_t>(i)]);
+        keep[static_cast<std::size_t>(i)] = !fooled;
+        any_drop = any_drop || fooled;
+      }
+      if (any_drop) {
+        const auto kept = active.retain(keep);
+        if (active.empty()) break;
+        xw = take_rows(xw, kept);
+        yw = engine::subset(yw, kept);
+        m_t = take_rows(m_t, kept);
+        v_t = take_rows(v_t, kept);
+        w = ag::Var::param(take_rows(w.value(), kept));
       }
     }
   }
-  return best_adv;
+
+  // Samples never fooled keep their final iterate (standard CW behaviour).
+  if (!active.empty()) {
+    ag::NoGradGuard ng;
+    const Tensor final_adv =
+        ibrar::mul_scalar(ibrar::add_scalar(ibrar::tanh(w.value()), 1.0f), 0.5f);
+    tracker.fill_unimproved(active.rows(), final_adv);
+  }
+  return tracker.release();
 }
 
 }  // namespace ibrar::attacks

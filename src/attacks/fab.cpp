@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "attacks/engine.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
 
@@ -14,73 +15,79 @@ Tensor FAB::perturb(models::TapClassifier& model, const Tensor& x,
   const auto n = x.dim(0);
   const std::int64_t img = x.numel() / n;
 
+  // Engine best-tracking: every boundary crossing overwrites the recorded
+  // iterate (metric 0 marks success); rows that never cross fall back to the
+  // final iterate. With cfg_.active_set on, crossed examples retire instead
+  // of running the backward-bias refinement — their recorded iterate is
+  // already adversarial, so robust accuracy is unchanged while the linear
+  // solves shrink with the surviving set.
+  engine::BestTracker tracker(x);
+  engine::ActiveSet active(n);
   Tensor adv = x;
-  Tensor best = x;
-  std::vector<bool> fooled(static_cast<std::size_t>(n), false);
+  Tensor xw = x;
+  std::vector<std::int64_t> yw = y;
 
-  for (std::int64_t step = 0; step < cfg_.steps; ++step) {
+  for (std::int64_t step = 0; step < cfg_.steps && !active.empty(); ++step) {
+    const auto k = active.size();
     ag::Var input = ag::Var::param(adv);
     ag::Var logits = model.forward(input);
     const Tensor lv = logits.value();
 
     // Most competitive wrong class per sample.
-    std::vector<std::int64_t> target(static_cast<std::size_t>(n));
-    for (std::int64_t i = 0; i < n; ++i) {
-      float bestv = -std::numeric_limits<float>::infinity();
-      std::int64_t bj = y[static_cast<std::size_t>(i)] == 0 ? 1 : 0;
-      for (std::int64_t j = 0; j < lv.dim(1); ++j) {
-        if (j == y[static_cast<std::size_t>(i)]) continue;
-        if (lv.at(i, j) > bestv) {
-          bestv = lv.at(i, j);
-          bj = j;
-        }
-      }
-      target[static_cast<std::size_t>(i)] = bj;
-    }
+    const auto target = engine::best_wrong_class(lv, yw);
 
     // Margin f_i = z_y - z_target; its input gradient per sample (samples are
     // independent, so one backward over the summed margins suffices).
-    ag::Var margin = ag::sub(ag::gather_cols(logits, y),
+    ag::Var margin = ag::sub(ag::gather_cols(logits, yw),
                              ag::gather_cols(logits, target));
     ag::Var total = ag::sum(margin);
     total.backward();
     const Tensor g = input.grad();
     const Tensor mv = margin.value();
 
-    for (std::int64_t i = 0; i < n; ++i) {
+    std::vector<char> keep(static_cast<std::size_t>(k), 1);
+    bool any_cross = false;
+    for (std::int64_t i = 0; i < k; ++i) {
       const float m = mv.at(i, 0);
       if (m <= 0.0f) {
         // Already across the boundary: record and bias toward the original
         // point to shrink the perturbation (FAB's backward step).
-        fooled[static_cast<std::size_t>(i)] = true;
-        std::copy_n(adv.data().begin() + i * img, img,
-                    best.data().begin() + i * img);
-        for (std::int64_t k = 0; k < img; ++k) {
-          adv[i * img + k] = backward_bias_ * adv[i * img + k] +
-                             (1.0f - backward_bias_) * x[i * img + k];
+        any_cross = true;
+        tracker.overwrite_row(active.rows()[static_cast<std::size_t>(i)], adv,
+                              i, 0.0f);
+        if (cfg_.active_set) {
+          keep[static_cast<std::size_t>(i)] = 0;
+          continue;
+        }
+        for (std::int64_t c = 0; c < img; ++c) {
+          adv[i * img + c] = backward_bias_ * adv[i * img + c] +
+                             (1.0f - backward_bias_) * xw[i * img + c];
         }
         continue;
       }
       // Linf-minimal step onto {z_y = z_t}: delta = -m * sign(w) / ||w||_1.
       double l1 = 0.0;
-      for (std::int64_t k = 0; k < img; ++k) l1 += std::fabs(g[i * img + k]);
+      for (std::int64_t c = 0; c < img; ++c) l1 += std::fabs(g[i * img + c]);
       if (l1 < 1e-12) continue;
       const float scale = overshoot_ * m / static_cast<float>(l1);
-      for (std::int64_t k = 0; k < img; ++k) {
-        const float s = g[i * img + k] > 0 ? 1.0f : (g[i * img + k] < 0 ? -1.0f : 0.0f);
-        adv[i * img + k] -= scale * s;
+      for (std::int64_t c = 0; c < img; ++c) {
+        const float s = g[i * img + c] > 0 ? 1.0f : (g[i * img + c] < 0 ? -1.0f : 0.0f);
+        adv[i * img + c] -= scale * s;
       }
     }
-    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+    if (cfg_.active_set && any_cross) {
+      const auto kept = active.retain(keep);
+      if (active.empty()) break;
+      adv = take_rows(adv, kept);
+      xw = take_rows(xw, kept);
+      yw = engine::subset(yw, kept);
+    }
+    project_linf(adv, xw, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
   }
 
   // Samples never fooled return their last iterate.
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (!fooled[static_cast<std::size_t>(i)]) {
-      std::copy_n(adv.data().begin() + i * img, img, best.data().begin() + i * img);
-    }
-  }
-  return best;
+  if (!active.empty()) tracker.fill_unimproved(active.rows(), adv);
+  return tracker.release();
 }
 
 }  // namespace ibrar::attacks

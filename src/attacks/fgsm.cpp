@@ -1,16 +1,21 @@
 #include "attacks/fgsm.hpp"
 
-#include "tensor/ops.hpp"
+#include "attacks/engine.hpp"
 
 namespace ibrar::attacks {
 
 Tensor FGSM::perturb(models::TapClassifier& model, const Tensor& x,
                      const std::vector<std::int64_t>& y) {
-  AttackModeGuard guard(model);
-  const Tensor g = input_gradient(model, x, y);
-  Tensor adv = add(x, mul_scalar(sign(g), cfg_.eps));
-  project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-  return adv;
+  // One CE-sign step of size eps from the clean point.
+  AttackConfig cfg = cfg_;
+  cfg.steps = 1;
+  cfg.restarts = 1;
+  cfg.random_start = false;
+  engine::Spec spec;
+  spec.init = engine::Init::kNone;
+  spec.step = engine::Step::kSign;
+  spec.step_size = cfg_.eps;
+  return engine::run(model, x, y, cfg, spec, rng_);
 }
 
 }  // namespace ibrar::attacks

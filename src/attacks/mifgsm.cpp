@@ -1,25 +1,19 @@
 #include "attacks/mifgsm.hpp"
 
-#include <cmath>
-
-#include "tensor/ops.hpp"
+#include "attacks/engine.hpp"
 
 namespace ibrar::attacks {
 
 Tensor MIFGSM::perturb(models::TapClassifier& model, const Tensor& x,
                        const std::vector<std::int64_t>& y) {
-  AttackModeGuard guard(model);
-  Tensor adv = x;
-  Tensor g_acc(x.shape());
-  for (std::int64_t s = 0; s < cfg_.steps; ++s) {
-    Tensor g = input_gradient(model, adv, y);
-    const float l1 = sum_all(abs(g)) / static_cast<float>(g.dim(0));
-    if (l1 > 1e-12f) g = mul_scalar(g, 1.0f / l1);
-    g_acc = add(mul_scalar(g_acc, decay_), g);
-    adv = add(adv, mul_scalar(sign(g_acc), cfg_.alpha));
-    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-  }
-  return adv;
+  // CE loss, batch-mean-L1-normalized gradients accumulated with decay mu,
+  // sign of the accumulator as the step direction.
+  engine::Spec spec;
+  spec.init = engine::Init::kNone;
+  spec.step = engine::Step::kMomentumSign;
+  spec.decay = decay_;
+  spec.l1_normalize = true;
+  return engine::run(model, x, y, cfg_, spec, rng_);
 }
 
 }  // namespace ibrar::attacks

@@ -1,30 +1,19 @@
 #include "attacks/nifgsm.hpp"
 
-#include <cmath>
-
-#include "tensor/ops.hpp"
+#include "attacks/engine.hpp"
 
 namespace ibrar::attacks {
 
 Tensor NIFGSM::perturb(models::TapClassifier& model, const Tensor& x,
                        const std::vector<std::int64_t>& y) {
-  AttackModeGuard guard(model);
-  Tensor adv = x;
-  Tensor g_acc(x.shape());
-  for (std::int64_t s = 0; s < cfg_.steps; ++s) {
-    // Look-ahead (Nesterov) point.
-    Tensor nes = add(adv, mul_scalar(g_acc, cfg_.alpha * momentum_));
-    project_linf(nes, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-    Tensor g = input_gradient(model, nes, y);
-    // L1 normalization per batch (Torchattacks normalizes over the batch mean
-    // of absolute values).
-    const float l1 = sum_all(abs(g)) / static_cast<float>(g.dim(0));
-    if (l1 > 1e-12f) g = mul_scalar(g, 1.0f / l1);
-    g_acc = add(mul_scalar(g_acc, momentum_), g);
-    adv = add(adv, mul_scalar(sign(g_acc), cfg_.alpha));
-    project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-  }
-  return adv;
+  // MI-FGSM with the gradient evaluated at the Nesterov look-ahead point
+  // adv + alpha*mu*g_acc (projected back into the ball before the forward).
+  engine::Spec spec;
+  spec.init = engine::Init::kNone;
+  spec.step = engine::Step::kNesterovSign;
+  spec.decay = momentum_;
+  spec.l1_normalize = true;
+  return engine::run(model, x, y, cfg_, spec, rng_);
 }
 
 }  // namespace ibrar::attacks

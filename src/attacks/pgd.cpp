@@ -1,82 +1,17 @@
 #include "attacks/pgd.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "runtime/parallel_for.hpp"
-#include "tensor/ops.hpp"
-#include "tensor/random.hpp"
+#include "attacks/engine.hpp"
 
 namespace ibrar::attacks {
-namespace {
-
-/// One PGD trajectory from a given start (the classic inner loop).
-Tensor run_trajectory(models::TapClassifier& model, const Tensor& x,
-                      const std::vector<std::int64_t>& y, Tensor adv,
-                      const AttackConfig& cfg) {
-  for (std::int64_t s = 0; s < cfg.steps; ++s) {
-    const Tensor g = input_gradient(model, adv, y);
-    adv = add(adv, mul_scalar(sign(g), cfg.alpha));
-    project_linf(adv, x, cfg.eps, cfg.clip_lo, cfg.clip_hi);
-  }
-  return adv;
-}
-
-}  // namespace
 
 Tensor PGD::perturb(models::TapClassifier& model, const Tensor& x,
                     const std::vector<std::int64_t>& y) {
-  AttackModeGuard guard(model);
-  // Without a random start every trajectory is identical, so extra restarts
-  // would just repeat the first one at full cost.
-  const std::int64_t restarts =
-      cfg_.random_start ? std::max<std::int64_t>(1, cfg_.restarts) : 1;
-
-  auto start_for_restart = [&]() {
-    Tensor adv = x;
-    if (cfg_.random_start) {
-      const Tensor noise = rand_uniform(x.shape(), rng_, -cfg_.eps, cfg_.eps);
-      adv = add(adv, noise);
-      project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-    }
-    return adv;
-  };
-
-  // Single-restart path: no extra forward pass, identical to classic PGD.
-  if (restarts == 1) {
-    return run_trajectory(model, x, y, start_for_restart(), cfg_);
-  }
-
-  // Multi-restart: keep, per example, the iterate with the lowest margin
-  // (most adversarial). The per-example copy-back is a batch loop on the
-  // pool; the noise draws stay on the caller so the RNG stream is the same
-  // for every thread count.
-  const auto n = x.dim(0);
-  const std::int64_t img = n > 0 ? x.numel() / n : 0;
-  Tensor best_adv = x;
-  std::vector<float> best(static_cast<std::size_t>(n),
-                          std::numeric_limits<float>::infinity());
-  for (std::int64_t r = 0; r < restarts; ++r) {
-    const Tensor adv = run_trajectory(model, x, y, start_for_restart(), cfg_);
-    std::vector<float> m;
-    {
-      ag::NoGradGuard ng;
-      m = margin_loss(model.forward(ag::Var::constant(adv)).value(), y);
-    }
-    runtime::parallel_for(
-        0, n, runtime::grain_for(img),
-        [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) {
-            const auto u = static_cast<std::size_t>(i);
-            if (m[u] < best[u]) {
-              best[u] = m[u];
-              std::copy_n(adv.data().begin() + i * img, img,
-                          best_adv.data().begin() + i * img);
-            }
-          }
-        });
-  }
-  return best_adv;
+  // CE loss, sign steps, uniform-in-ball random start, restart scheduling
+  // with per-restart margin tracking — all engine defaults.
+  engine::Spec spec;
+  spec.init = engine::Init::kUniformBall;
+  spec.step = engine::Step::kSign;
+  return engine::run(model, x, y, cfg_, spec, rng_);
 }
 
 }  // namespace ibrar::attacks

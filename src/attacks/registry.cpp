@@ -1,0 +1,358 @@
+#include "attacks/registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "attacks/adaptive.hpp"
+#include "attacks/cw.hpp"
+#include "attacks/engine.hpp"
+#include "attacks/fab.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/mifgsm.hpp"
+#include "attacks/nifgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "attacks/square.hpp"
+#include "tensor/ops.hpp"
+
+namespace ibrar::attacks {
+namespace {
+
+/// Attack-specific knobs collected from the spec before construction.
+struct Extras {
+  float decay = 1.0f;          // mifgsm
+  float momentum = 1.0f;       // nifgsm
+  float c = 1.0f;              // cw
+  float kappa = 0.0f;          // cw
+  float lr = 0.01f;            // cw
+  float p_init = 0.3f;         // square
+  float overshoot = 1.05f;     // fab
+  float backward_bias = 0.7f;  // fab
+  mi::IBObjectiveConfig ib;    // adaptive
+};
+
+/// Which attack owns each attack-specific key — so a key on the wrong attack
+/// is a hard error instead of a silently ignored no-op.
+const char* key_owner(const std::string& key) {
+  if (key == "decay") return "mifgsm";
+  if (key == "momentum") return "nifgsm";
+  if (key == "c" || key == "kappa" || key == "lr") return "cw";
+  if (key == "p_init") return "square";
+  if (key == "overshoot" || key == "backward_bias") return "fab";
+  if (key == "ib_alpha" || key == "ib_beta" || key == "layers") {
+    return "adaptive";
+  }
+  return nullptr;
+}
+
+std::string joined_registry() {
+  std::string s;
+  for (const auto& n : registered_attacks()) {
+    if (!s.empty()) s += ", ";
+    s += n;
+  }
+  return s;
+}
+
+AttackPtr build(const std::string& name, const AttackConfig& cfg,
+                const Extras& ex) {
+  if (name == "fgsm") return std::make_unique<FGSM>(cfg);
+  if (name == "pgd") return std::make_unique<PGD>(cfg);
+  if (name == "mifgsm") return std::make_unique<MIFGSM>(cfg, ex.decay);
+  if (name == "nifgsm") return std::make_unique<NIFGSM>(cfg, ex.momentum);
+  if (name == "cw") return std::make_unique<CW>(cfg, ex.c, ex.kappa, ex.lr);
+  if (name == "square") return std::make_unique<SquareAttack>(cfg, ex.p_init);
+  if (name == "fab")
+    return std::make_unique<FAB>(cfg, ex.overshoot, ex.backward_bias);
+  if (name == "adaptive") return std::make_unique<AdaptivePGD>(cfg, ex.ib);
+  throw std::invalid_argument("attacks::make: unknown attack '" + name +
+                              "' — registered attacks are: " +
+                              joined_registry());
+}
+
+float parse_float(const std::string& stage, const std::string& key,
+                  const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const float v = std::strtof(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                "': value for '" + key +
+                                "' is not a number: '" + value + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                "': value for '" + key +
+                                "' overflows float: '" + value + "'");
+  }
+  return v;
+}
+
+std::int64_t parse_int(const std::string& stage, const std::string& key,
+                       const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                "': value for '" + key +
+                                "' is not an integer: '" + value + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                "': value for '" + key +
+                                "' overflows int64: '" + value + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+BestMode parse_best(const std::string& stage, const std::string& value) {
+  if (value == "auto") return BestMode::kAuto;
+  if (value == "last") return BestMode::kLastIterate;
+  if (value == "restart") return BestMode::kPerRestart;
+  if (value == "step") return BestMode::kPerStep;
+  throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                              "': best=" + value +
+                              " — expected auto|last|restart|step");
+}
+
+/// Taps list for adaptive: "+"-separated indices, e.g. layers=4+5+6.
+std::vector<std::size_t> parse_layers(const std::string& stage,
+                                      const std::string& value) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const auto plus = value.find('+', pos);
+    const std::string tok =
+        value.substr(pos, plus == std::string::npos ? value.size() - pos
+                                                    : plus - pos);
+    const auto idx = parse_int(stage, "layers", tok);
+    if (idx < 0) {
+      throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                  "': layers indices must be >= 0");
+    }
+    out.push_back(static_cast<std::size_t>(idx));
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+  return out;
+}
+
+/// One "name:key=value,..." stage -> a constructed attack.
+AttackPtr parse_stage(const std::string& stage, const AttackConfig& defaults) {
+  const auto colon = stage.find(':');
+  const std::string name = stage.substr(0, colon);
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "attacks::parse_spec: empty attack name in spec stage '" + stage +
+        "' — registered attacks are: " + joined_registry());
+  }
+  const auto& reg = registered_attacks();
+  if (std::find(reg.begin(), reg.end(), name) == reg.end()) {
+    throw std::invalid_argument("attacks::parse_spec: unknown attack '" +
+                                name + "' — registered attacks are: " +
+                                joined_registry());
+  }
+
+  AttackConfig cfg = defaults;
+  Extras ex;
+  std::string rest = colon == std::string::npos ? "" : stage.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string kv = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+      throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                  "': malformed option '" + kv +
+                                  "' — expected key=value");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    // FGSM is single-step by definition (one sign step of size eps), so the
+    // iteration keys would be silently discarded — reject them like any
+    // other silently-ignored key.
+    if (name == "fgsm" && (key == "steps" || key == "restarts" ||
+                           key == "alpha" || key == "random_start")) {
+      throw std::invalid_argument(
+          "attacks::parse_spec: stage '" + stage + "': fgsm ignores '" + key +
+          "' (it takes exactly one sign step of size eps from the clean "
+          "point) — use pgd for iterated/restarted attacks");
+    }
+    if (key == "eps") {
+      cfg.eps = parse_float(stage, key, value);
+      // Negated form so NaN (which fails every comparison) is rejected too.
+      if (!(cfg.eps >= 0.0f && cfg.eps <= 1.0f)) {
+        throw std::invalid_argument(
+            "attacks::parse_spec: stage '" + stage + "': eps=" + value +
+            " out of range — Linf budgets are fractions of the [0,1] pixel "
+            "range (paper default 8/255 ≈ 0.0314)");
+      }
+    } else if (key == "alpha") {
+      cfg.alpha = parse_float(stage, key, value);
+      if (!(cfg.alpha >= 0.0f && cfg.alpha <= 1.0f)) {
+        throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                    "': alpha must be in [0, 1]");
+      }
+    } else if (key == "steps") {
+      cfg.steps = parse_int(stage, key, value);
+      if (cfg.steps < 0) {
+        throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                    "': steps must be >= 0");
+      }
+    } else if (key == "restarts") {
+      cfg.restarts = parse_int(stage, key, value);
+      if (cfg.restarts < 1) {
+        throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                    "': restarts must be >= 1");
+      }
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_int(stage, key, value));
+    } else if (key == "random_start") {
+      cfg.random_start = parse_int(stage, key, value) != 0;
+    } else if (key == "active_set") {
+      cfg.active_set = parse_int(stage, key, value) != 0;
+    } else if (key == "best") {
+      cfg.track_best = parse_best(stage, value);
+    } else if (const char* owner = key_owner(key)) {
+      if (name != owner) {
+        throw std::invalid_argument("attacks::parse_spec: stage '" + stage +
+                                    "': key '" + key + "' belongs to '" +
+                                    owner + "', not '" + name +
+                                    "' — it would be silently ignored");
+      }
+      if (key == "decay") ex.decay = parse_float(stage, key, value);
+      else if (key == "momentum") ex.momentum = parse_float(stage, key, value);
+      else if (key == "c") ex.c = parse_float(stage, key, value);
+      else if (key == "kappa") ex.kappa = parse_float(stage, key, value);
+      else if (key == "lr") ex.lr = parse_float(stage, key, value);
+      else if (key == "p_init") ex.p_init = parse_float(stage, key, value);
+      else if (key == "overshoot") ex.overshoot = parse_float(stage, key, value);
+      else if (key == "backward_bias")
+        ex.backward_bias = parse_float(stage, key, value);
+      else if (key == "ib_alpha") ex.ib.alpha = parse_float(stage, key, value);
+      else if (key == "ib_beta") ex.ib.beta = parse_float(stage, key, value);
+      else if (key == "layers") ex.ib.layer_indices = parse_layers(stage, value);
+    } else {
+      throw std::invalid_argument(
+          "attacks::parse_spec: stage '" + stage + "': unknown key '" + key +
+          "' — common keys: eps, alpha, steps, restarts, seed, random_start, "
+          "active_set, best; attack-specific: decay (mifgsm), momentum "
+          "(nifgsm), c/kappa/lr (cw), p_init (square), "
+          "overshoot/backward_bias (fab), ib_alpha/ib_beta/layers (adaptive)");
+    }
+  }
+  // Batch-coupled compositions reject the active set up front, with a spec-
+  // level message (the engine would throw the same complaint at perturb time).
+  if (cfg.active_set &&
+      (name == "mifgsm" || name == "nifgsm" || name == "adaptive")) {
+    throw std::invalid_argument(
+        "attacks::parse_spec: stage '" + stage + "': " + name +
+        " couples examples through the batch (mean-L1 gradient normalization "
+        "or MI estimators), so active_set=1 would change survivors' "
+        "trajectories — drop active_set for this stage");
+  }
+  return build(name, cfg, ex);
+}
+
+/// Split on "→" (UTF-8) or "->" composite separators.
+std::vector<std::string> split_stages(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto arrow_utf8 = spec.find("\xe2\x86\x92", pos);
+    const auto arrow_ascii = spec.find("->", pos);
+    const auto cut = std::min(arrow_utf8, arrow_ascii);
+    if (cut == std::string::npos) {
+      out.push_back(spec.substr(pos));
+      break;
+    }
+    out.push_back(spec.substr(pos, cut - pos));
+    pos = cut + (cut == arrow_utf8 ? 3 : 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered_attacks() {
+  static const std::vector<std::string> names = {
+      "fgsm", "pgd", "mifgsm", "nifgsm", "cw", "square", "fab", "adaptive"};
+  return names;
+}
+
+AttackPtr make(const std::string& name, const AttackConfig& cfg) {
+  return build(name, cfg, Extras{});
+}
+
+AttackPtr parse_spec(const std::string& spec, const AttackConfig& defaults) {
+  if (spec.empty()) {
+    throw std::invalid_argument(
+        "attacks::parse_spec: empty spec — expected e.g. \"pgd:steps=20\" or "
+        "\"fgsm→pgd→cw\"");
+  }
+  auto stages = split_stages(spec);
+  if (stages.size() == 1) return parse_stage(stages.front(), defaults);
+  std::vector<AttackPtr> built;
+  built.reserve(stages.size());
+  for (const auto& s : stages) built.push_back(parse_stage(s, defaults));
+  return std::make_unique<CompositeAttack>(std::move(built), defaults);
+}
+
+CompositeAttack::CompositeAttack(std::vector<AttackPtr> stages,
+                                 AttackConfig cfg)
+    : Attack(cfg), stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("CompositeAttack: needs at least one stage");
+  }
+}
+
+std::string CompositeAttack::name() const {
+  std::string s;
+  for (const auto& a : stages_) {
+    if (!s.empty()) s += "\xe2\x86\x92";
+    s += a->name();
+  }
+  return s;
+}
+
+Tensor CompositeAttack::perturb(models::TapClassifier& model, const Tensor& x,
+                                const std::vector<std::int64_t>& y) {
+  const auto n = x.dim(0);
+  trace_.clear();
+  trace_.reserve(stages_.size());
+  success_.assign(static_cast<std::size_t>(n), 0);
+
+  Tensor out = x;
+  engine::ActiveSet remaining(n);
+  for (const auto& stage : stages_) {
+    StageTrace t;
+    t.name = stage->name();
+    t.forwarded = remaining.size();
+    if (remaining.empty()) {
+      trace_.push_back(std::move(t));
+      continue;
+    }
+    const Tensor x_sub = take_rows(x, remaining.rows());
+    const auto y_sub = engine::subset(y, remaining.rows());
+    const Tensor adv = stage->perturb(model, x_sub, y_sub);
+    // Every forwarded example takes this stage's iterate; survivors get
+    // overwritten by the next stage they are forwarded to.
+    put_rows(out, remaining.rows(), adv);
+    const auto pred = predict(model, adv);
+    std::vector<char> keep(pred.size());
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      keep[i] = pred[i] == y_sub[i];
+      if (!keep[i]) {
+        ++t.fooled;
+        success_[static_cast<std::size_t>(remaining.rows()[i])] = 1;
+      }
+    }
+    remaining.retain(keep);
+    trace_.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace ibrar::attacks

@@ -1,0 +1,85 @@
+#pragma once
+// String-keyed attack registry and spec parser.
+//
+// Attacks are addressable by name ("pgd") or by a compact spec string that
+// carries the configuration inline:
+//
+//   spec      := stage ( ("→" | "->") stage )*
+//   stage     := name [ ":" kv ( "," kv )* ]
+//   kv        := key "=" value
+//
+//   parse_spec("pgd:steps=20,restarts=5")
+//   parse_spec("fgsm→pgd:restarts=3→cw")        // CompositeAttack pipeline
+//
+// Common keys (all attacks): eps, alpha, steps, restarts, seed,
+// random_start (0/1), active_set (0/1), best (auto|last|restart|step).
+// Attack-specific keys (rejected on any other attack): decay (mifgsm),
+// momentum (nifgsm), c / kappa / lr (cw), p_init (square), overshoot /
+// backward_bias (fab), ib_alpha / ib_beta / layers="+"-separated tap indices
+// (adaptive, e.g. "adaptive:steps=10,layers=4+5+6").
+//
+// Multi-stage specs build a CompositeAttack: stages run in sequence over a
+// shared per-example success mask, and only the examples the earlier stages
+// failed to fool are forwarded to the next stage (AutoAttack-style ensemble
+// evaluation with active-set cost).
+
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+
+namespace ibrar::attacks {
+
+/// Names make() accepts, in registry order (for error messages and sweeps).
+const std::vector<std::string>& registered_attacks();
+
+/// Construct a registered attack with the given base config and the
+/// attack-specific defaults (CW c=1, Square p_init=0.3, ...). Throws
+/// std::invalid_argument for unknown names, listing the registry.
+AttackPtr make(const std::string& name, const AttackConfig& cfg = {});
+
+/// Parse a spec string (grammar above) into a single attack or a
+/// CompositeAttack. `defaults` seeds every stage's config before the stage's
+/// own key=value overrides apply. Throws std::invalid_argument with an
+/// actionable message on unknown names, malformed key=value pairs, non-numeric
+/// values, or out-of-range budgets (eps outside [0,1], negative alpha/steps,
+/// restarts < 1).
+AttackPtr parse_spec(const std::string& spec, const AttackConfig& defaults = {});
+
+/// Sequential ensemble with survivor forwarding: stage k only attacks the
+/// examples stages 0..k-1 left correctly classified, and every example keeps
+/// the adversarial iterate of the stage that first fooled it (survivors keep
+/// the last stage's attempt). Per-batch stage statistics are kept for the
+/// RobustReport driver.
+class CompositeAttack : public Attack {
+ public:
+  explicit CompositeAttack(std::vector<AttackPtr> stages,
+                           AttackConfig cfg = {});
+
+  std::string name() const override;
+  Tensor perturb(models::TapClassifier& model, const Tensor& x,
+                 const std::vector<std::int64_t>& y) override;
+
+  struct StageTrace {
+    std::string name;
+    std::int64_t forwarded = 0;  ///< examples entering the stage
+    std::int64_t fooled = 0;     ///< newly misclassified by the stage
+  };
+  /// Statistics of the most recent perturb() call, one entry per stage.
+  const std::vector<StageTrace>& last_trace() const { return trace_; }
+
+  /// Per-example success of the most recent perturb() (1 = some stage fooled
+  /// it). The stages already predicted every output, so callers can reuse
+  /// this instead of re-forwarding the returned batch.
+  const std::vector<std::uint8_t>& last_success() const { return success_; }
+
+  std::size_t num_stages() const { return stages_.size(); }
+  Attack& stage(std::size_t i) { return *stages_.at(i); }
+
+ private:
+  std::vector<AttackPtr> stages_;
+  std::vector<StageTrace> trace_;
+  std::vector<std::uint8_t> success_;
+};
+
+}  // namespace ibrar::attacks

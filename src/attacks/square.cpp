@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attacks/engine.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
@@ -21,9 +22,10 @@ std::int64_t side_for_step(std::int64_t step, std::int64_t steps, float p_init,
   return std::clamp<std::int64_t>(side, 1, hw);
 }
 
-/// One proposed square per still-unfooled example.
+/// One proposed square per still-unfooled example (indices are LOCAL
+/// positions in the compacted working batch).
 struct Patch {
-  std::int64_t example;
+  std::int64_t local;
   std::int64_t oy, ox;
   std::vector<float> sign;  ///< +/-eps per channel
 };
@@ -54,24 +56,37 @@ Tensor SquareAttack::perturb(models::TapClassifier& model, const Tensor& x,
   });
   project_linf(adv, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
 
-  auto forward_margins = [&](const Tensor& imgs) {
-    return margin_loss(model.forward(ag::Var::constant(imgs)).value(), y);
-  };
-  std::vector<float> best = forward_margins(adv);
+  // Active-set scheduling is always on here: random search only ever proposes
+  // patches for unfooled examples (exactly the seed's skip), so compacting
+  // the proposal forward to those rows changes no margin and no RNG draw —
+  // the query cost simply tracks the surviving set.
+  std::vector<float> init_margin;
+  {
+    const Tensor logits = model.forward(ag::Var::constant(adv)).value();
+    init_margin = margin_loss(logits, y);
+  }
+  engine::BestTracker tracker(std::move(adv), init_margin);
+  engine::ActiveSet active(n);
+  {
+    std::vector<char> keep(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      keep[static_cast<std::size_t>(i)] =
+          init_margin[static_cast<std::size_t>(i)] >= 0.0f;
+    }
+    active.retain(keep);
+  }
 
-  Tensor proposal = adv;
   std::vector<Patch> patches;
   patches.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t step = 0; step < cfg_.steps; ++step) {
+  for (std::int64_t step = 0; step < cfg_.steps && !active.empty(); ++step) {
     const auto side = side_for_step(step, cfg_.steps, p_init_, std::min(h, w));
 
-    // Draw every proposal serially (same order as the serial loop), then
-    // paint the independent per-example squares on the pool.
+    // Draw every proposal serially (ascending batch order, matching the
+    // seed's stream), then paint the independent squares on the pool.
     patches.clear();
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (best[static_cast<std::size_t>(i)] < 0) continue;  // already fooled
+    for (std::int64_t li = 0; li < active.size(); ++li) {
       Patch p;
-      p.example = i;
+      p.local = li;
       p.oy = rng_.randint(0, h - side);
       p.ox = rng_.randint(0, w - side);
       p.sign.resize(static_cast<std::size_t>(c));
@@ -82,7 +97,10 @@ Tensor SquareAttack::perturb(models::TapClassifier& model, const Tensor& x,
       patches.push_back(std::move(p));
     }
 
-    proposal = adv;
+    // Proposal batch: current best rows of the survivors with one square
+    // repainted from the clean image.
+    Tensor proposal = take_rows(tracker.best(), active.rows());
+    const Tensor x_rows = take_rows(x, active.rows());
     runtime::parallel_for(
         0, static_cast<std::int64_t>(patches.size()), 1,
         [&](std::int64_t p0, std::int64_t p1) {
@@ -92,30 +110,29 @@ Tensor SquareAttack::perturb(models::TapClassifier& model, const Tensor& x,
               const float s = p.sign[static_cast<std::size_t>(ic)];
               for (std::int64_t yy = 0; yy < side; ++yy) {
                 for (std::int64_t xx = 0; xx < side; ++xx) {
-                  proposal.at(p.example, ic, p.oy + yy, p.ox + xx) =
-                      x.at(p.example, ic, p.oy + yy, p.ox + xx) + s;
+                  proposal.at(p.local, ic, p.oy + yy, p.ox + xx) =
+                      x_rows.at(p.local, ic, p.oy + yy, p.ox + xx) + s;
                 }
               }
             }
           }
         });
-    project_linf(proposal, x, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
-    const auto cand = forward_margins(proposal);
-    const std::int64_t img = c * h * w;
-    runtime::parallel_for(
-        0, n, runtime::grain_for(img),
-        [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) {
-            const auto u = static_cast<std::size_t>(i);
-            if (cand[u] < best[u]) {
-              best[u] = cand[u];
-              std::copy_n(proposal.data().begin() + i * img, img,
-                          adv.data().begin() + i * img);
-            }
-          }
-        });
+    project_linf(proposal, x_rows, cfg_.eps, cfg_.clip_lo, cfg_.clip_hi);
+
+    const auto yw = engine::subset(y, active.rows());
+    const auto cand = margin_loss(
+        model.forward(ag::Var::constant(proposal)).value(), yw);
+    tracker.update_rows(active.rows(), proposal, cand);
+
+    std::vector<char> keep(static_cast<std::size_t>(active.size()));
+    for (std::int64_t li = 0; li < active.size(); ++li) {
+      keep[static_cast<std::size_t>(li)] =
+          tracker.metric()[static_cast<std::size_t>(
+              active.rows()[static_cast<std::size_t>(li)])] >= 0.0f;
+    }
+    active.retain(keep);
   }
-  return adv;
+  return tracker.release();
 }
 
 }  // namespace ibrar::attacks

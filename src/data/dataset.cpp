@@ -1,6 +1,8 @@
 #include "data/dataset.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/ops.hpp"
 
@@ -36,6 +38,25 @@ Batch make_batch(const Dataset& ds, const std::vector<std::int64_t>& idx) {
   b.x = take_rows(ds.images, idx);
   b.y.reserve(idx.size());
   for (const auto i : idx) b.y.push_back(ds.labels.at(static_cast<std::size_t>(i)));
+  return b;
+}
+
+Batch make_batch(const Dataset& ds, std::int64_t begin, std::int64_t end) {
+  if (begin < 0 || end < begin || end > ds.size()) {
+    throw std::out_of_range("make_batch: range [" + std::to_string(begin) +
+                            ", " + std::to_string(end) + ") outside dataset of " +
+                            std::to_string(ds.size()));
+  }
+  const std::int64_t rows = end - begin;
+  const std::int64_t row_size =
+      ds.size() > 0 ? ds.images.numel() / ds.size() : 0;
+  Shape shape = ds.images.shape();
+  shape[0] = rows;
+  Batch b;
+  b.x = Tensor(std::move(shape));
+  std::copy_n(ds.images.data().begin() + begin * row_size, rows * row_size,
+              b.x.data().begin());
+  b.y.assign(ds.labels.begin() + begin, ds.labels.begin() + end);
   return b;
 }
 

@@ -39,4 +39,9 @@ struct Batch {
 /// Extract a batch by explicit indices.
 Batch make_batch(const Dataset& ds, const std::vector<std::int64_t>& idx);
 
+/// Extract the contiguous range [begin, end) as a batch — the common shape of
+/// every sequential evaluation sweep; one block copy instead of a per-row
+/// gather. Throws std::out_of_range on an invalid range.
+Batch make_batch(const Dataset& ds, std::int64_t begin, std::int64_t end);
+
 }  // namespace ibrar::data

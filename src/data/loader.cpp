@@ -24,10 +24,17 @@ bool DataLoader::next(Batch& out) {
   const auto n = static_cast<std::int64_t>(order_.size());
   if (cursor_ >= n) return false;
   const auto end = std::min(cursor_ + batch_size_, n);
-  std::vector<std::int64_t> idx(order_.begin() + cursor_, order_.begin() + end);
-  // Batch assembly gathers image rows via take_rows, which splits the row
-  // copies across the runtime thread pool for wide batches.
-  out = make_batch(*ds_, idx);
+  if (!shuffle_) {
+    // Unshuffled epochs walk the dataset in order: the contiguous-range
+    // overload replaces the per-row gather with one block copy.
+    out = make_batch(*ds_, cursor_, end);
+  } else {
+    std::vector<std::int64_t> idx(order_.begin() + cursor_,
+                                  order_.begin() + end);
+    // Batch assembly gathers image rows via take_rows, which splits the row
+    // copies across the runtime thread pool for wide batches.
+    out = make_batch(*ds_, idx);
+  }
   cursor_ = end;
   return true;
 }

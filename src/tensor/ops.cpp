@@ -213,7 +213,8 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
 
 Tensor take_rows(const Tensor& a, const std::vector<std::int64_t>& idx) {
   if (a.rank() < 1) throw std::invalid_argument("take_rows: scalar");
-  const std::int64_t row_size = a.numel() / a.dim(0);
+  // 0-row sources are legal (empty batches); any index into one throws below.
+  const std::int64_t row_size = a.dim(0) > 0 ? a.numel() / a.dim(0) : 0;
   Shape shape = a.shape();
   shape[0] = static_cast<std::int64_t>(idx.size());
   Tensor out(shape);
@@ -230,6 +231,35 @@ Tensor take_rows(const Tensor& a, const std::vector<std::int64_t>& idx) {
         }
       });
   return out;
+}
+
+void put_rows(Tensor& dst, const std::vector<std::int64_t>& idx,
+              const Tensor& src) {
+  if (dst.rank() < 1 || src.rank() < 1) {
+    throw std::invalid_argument("put_rows: scalar");
+  }
+  if (src.dim(0) != static_cast<std::int64_t>(idx.size())) {
+    throw std::invalid_argument("put_rows: src rows != index count");
+  }
+  if (idx.empty()) return;  // also covers legal 0-row destinations
+  const std::int64_t row_size = dst.dim(0) > 0 ? dst.numel() / dst.dim(0) : 0;
+  if (row_size == 0 || src.numel() / src.dim(0) != row_size) {
+    throw std::invalid_argument("put_rows: trailing shape mismatch");
+  }
+  // Active-set scatter-back hot path: rows land independently, so the copies
+  // fan out across the pool like take_rows' gathers.
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(idx.size()), runtime::grain_for(row_size),
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const auto dstrow = idx[static_cast<std::size_t>(r)];
+          if (dstrow < 0 || dstrow >= dst.dim(0)) {
+            throw std::out_of_range("put_rows index");
+          }
+          std::copy_n(src.data().begin() + r * row_size, row_size,
+                      dst.data().begin() + dstrow * row_size);
+        }
+      });
 }
 
 Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes) {

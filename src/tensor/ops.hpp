@@ -63,6 +63,13 @@ Tensor concat_rows(const std::vector<Tensor>& parts);
 /// Select rows of a 2-D (or N-d, axis 0) tensor by index.
 Tensor take_rows(const Tensor& a, const std::vector<std::int64_t>& idx);
 
+/// Scatter `src` rows into `dst` at axis-0 positions `idx` (the inverse of
+/// take_rows): dst[idx[r]] = src[r]. Indices must be unique — duplicate
+/// targets would race across the row-parallel copies. Trailing dims of `dst`
+/// and `src` must match.
+void put_rows(Tensor& dst, const std::vector<std::int64_t>& idx,
+              const Tensor& src);
+
 /// One-hot encode integer labels into (n, num_classes).
 Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t num_classes);
 

@@ -1,7 +1,6 @@
 #include "train/mart.hpp"
 
-#include <limits>
-
+#include "attacks/engine.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
 
@@ -17,22 +16,7 @@ ag::Var MARTObjective::compute(models::TapClassifier& model,
 
   // BCE part: -log p_y(x') - log(1 - max_{k != y} p_k(x')).
   ag::Var ce = ag::cross_entropy(logits_adv, batch.y);
-  std::vector<std::int64_t> wrong(static_cast<std::size_t>(n));
-  {
-    const Tensor& pv = p_adv.value();
-    for (std::int64_t i = 0; i < n; ++i) {
-      float best = -std::numeric_limits<float>::infinity();
-      std::int64_t bj = batch.y[static_cast<std::size_t>(i)] == 0 ? 1 : 0;
-      for (std::int64_t j = 0; j < pv.dim(1); ++j) {
-        if (j == batch.y[static_cast<std::size_t>(i)]) continue;
-        if (pv.at(i, j) > best) {
-          best = pv.at(i, j);
-          bj = j;
-        }
-      }
-      wrong[static_cast<std::size_t>(i)] = bj;
-    }
-  }
+  const auto wrong = attacks::engine::best_wrong_class(p_adv.value(), batch.y);
   ag::Var p_wrong = ag::gather_cols(p_adv, wrong);  // (n,1)
   ag::Var margin = ag::neg(ag::mean(
       ag::log(ag::add_scalar(ag::neg(p_wrong), 1.0f + 1e-6f))));

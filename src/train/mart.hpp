@@ -4,19 +4,23 @@
 // where BCE adds a margin term -log(1 - max_{k != y} p_k(x')) to CE, and the
 // weighting emphasizes examples the clean model already gets wrong.
 
+#include "attacks/registry.hpp"
 #include "train/objective.hpp"
 
 namespace ibrar::train {
 
 class MARTObjective : public Objective {
  public:
-  MARTObjective(attacks::AttackConfig inner, float lambda = 5.0f)
-      : attack_(std::make_unique<attacks::PGD>(inner)), lambda_(lambda) {}
+  /// The inner maximization is any registry attack (default engine-backed
+  /// PGD, matching the reference implementation).
+  MARTObjective(attacks::AttackConfig inner, float lambda = 5.0f,
+                const std::string& inner_attack = "pgd")
+      : attack_(attacks::make(inner_attack, inner)), lambda_(lambda) {}
   std::string name() const override { return "MART"; }
   ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
 
  private:
-  std::unique_ptr<attacks::PGD> attack_;
+  attacks::AttackPtr attack_;
   float lambda_;
 };
 

@@ -1,30 +1,24 @@
 #include "train/trades.hpp"
 
-#include "tensor/ops.hpp"
-#include "tensor/random.hpp"
+#include "attacks/engine.hpp"
 #include "tensor/reduce.hpp"
 
 namespace ibrar::train {
 
 Tensor TRADESObjective::kl_pgd(models::TapClassifier& model, const Tensor& x,
+                               const std::vector<std::int64_t>& y,
                                const Tensor& p_clean) {
-  attacks::AttackModeGuard guard(model);
-  Tensor adv = x;
-  // TRADES initializes with small Gaussian noise rather than uniform.
-  {
-    Tensor noise = randn(x.shape(), rng_, 0.0f, 1e-3f);
-    adv = add(adv, noise);
-    attacks::project_linf(adv, x, inner_.eps, inner_.clip_lo, inner_.clip_hi);
-  }
-  const ag::Var p_const = ag::Var::constant(p_clean);
-  for (std::int64_t s = 0; s < inner_.steps; ++s) {
-    ag::Var input = ag::Var::param(adv);
-    ag::Var kl = ag::kl_div(p_const, ag::log_softmax(model.forward(input)));
-    kl.backward();
-    adv = add(adv, mul_scalar(sign(input.grad()), inner_.alpha));
-    attacks::project_linf(adv, x, inner_.eps, inner_.clip_lo, inner_.clip_hi);
-  }
-  return adv;
+  // The inner maximization is an engine composition: Gaussian init (TRADES
+  // initializes with small noise rather than uniform), KL-vs-clean loss,
+  // sign steps in the eps-ball. rng_ persists across batches so a fixed seed
+  // reproduces the whole training run.
+  namespace eng = attacks::engine;
+  eng::Spec spec;
+  spec.init = eng::Init::kGaussian;
+  spec.init_sigma = 1e-3f;
+  spec.loss = eng::kl_vs_clean_loss(p_clean);
+  spec.step = eng::Step::kSign;
+  return eng::run(model, x, y, inner_, spec, rng_);
 }
 
 ag::Var TRADESObjective::compute(models::TapClassifier& model,
@@ -38,7 +32,7 @@ ag::Var TRADESObjective::compute(models::TapClassifier& model,
     p_clean = softmax_rows(model.forward(ag::Var::constant(batch.x)).value());
     model.set_training(was);
   }
-  const Tensor adv = kl_pgd(model, batch.x, p_clean);
+  const Tensor adv = kl_pgd(model, batch.x, batch.y, p_clean);
 
   // Outer loss: CE(clean) + beta * KL(p(clean) || p(adv)); gradients flow
   // through both forward passes.

@@ -14,11 +14,14 @@ class TRADESObjective : public Objective {
   std::string name() const override { return "TRADES"; }
   ag::Var compute(models::TapClassifier& model, const data::Batch& batch) override;
 
- private:
-  /// Inner maximization: PGD steps on KL(p_clean || p(x')).
+  /// Inner maximization: engine-composed PGD on KL(p_clean || p(x')) with
+  /// Gaussian init. Public so the parity suite can pin it against the
+  /// reference loop; labels are only consulted by the engine's optional
+  /// margin-tracking/active-set paths.
   Tensor kl_pgd(models::TapClassifier& model, const Tensor& x,
-                const Tensor& p_clean);
+                const std::vector<std::int64_t>& y, const Tensor& p_clean);
 
+ private:
   attacks::AttackConfig inner_;
   float beta_;
   Rng rng_;

@@ -156,6 +156,28 @@ TEST(DatasetOps, MakeBatch) {
   EXPECT_EQ(b.y[1], d.train.labels[19]);
 }
 
+TEST(DatasetOps, MakeBatchRangeMatchesIndexForm) {
+  const auto d = make_dataset("synth-cifar10", 20, 10);
+  const auto ranged = make_batch(d.train, 3, 9);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 3; i < 9; ++i) idx.push_back(i);
+  const auto gathered = make_batch(d.train, idx);
+  ASSERT_EQ(ranged.x.shape(), gathered.x.shape());
+  EXPECT_EQ(ranged.y, gathered.y);
+  for (std::int64_t i = 0; i < ranged.x.numel(); ++i) {
+    ASSERT_EQ(ranged.x[i], gathered.x[i]);
+  }
+}
+
+TEST(DatasetOps, MakeBatchRangeValidates) {
+  const auto d = make_dataset("synth-cifar10", 10, 5);
+  EXPECT_THROW(make_batch(d.train, -1, 3), std::out_of_range);
+  EXPECT_THROW(make_batch(d.train, 4, 2), std::out_of_range);
+  EXPECT_THROW(make_batch(d.train, 0, 11), std::out_of_range);
+  const auto empty = make_batch(d.train, 5, 5);
+  EXPECT_EQ(empty.size(), 0);
+}
+
 TEST(Loader, CoversEveryExampleOnce) {
   const auto d = make_dataset("synth-cifar10", 53, 10);
   DataLoader loader(d.train, 10, /*shuffle=*/true, Rng(3));

@@ -313,6 +313,37 @@ TEST(ShapeUtils, TakeRowsAndConcat) {
   EXPECT_THROW(take_rows(a, {3}), std::out_of_range);
 }
 
+TEST(ShapeUtils, PutRowsInvertsTakeRows) {
+  Tensor a({4, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  const std::vector<std::int64_t> idx{3, 1};
+  const Tensor rows = take_rows(a, idx);
+  Tensor b({4, 3});
+  put_rows(b, idx, rows);
+  EXPECT_FLOAT_EQ(b.at(3, 0), 10);
+  EXPECT_FLOAT_EQ(b.at(1, 2), 6);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 0);  // untouched rows keep their content
+  EXPECT_FLOAT_EQ(b.at(2, 1), 0);
+  // Round trip: scatter back into a copy reproduces the original.
+  Tensor c = a;
+  put_rows(c, idx, rows);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(ShapeUtils, PutRowsValidates) {
+  Tensor dst({3, 2});
+  const Tensor two({2, 2}, {1, 2, 3, 4});
+  EXPECT_THROW(put_rows(dst, {0}, two), std::invalid_argument);  // count
+  Tensor wide({1, 3}, {1, 2, 3});
+  EXPECT_THROW(put_rows(dst, {0}, wide), std::invalid_argument);  // trailing
+  EXPECT_THROW(put_rows(dst, {0, 3}, two), std::out_of_range);    // range
+  // 0-row scatter (and 0-row destinations, as empty batches produce) no-op.
+  Tensor none({0, 2});
+  put_rows(none, {}, Tensor({0, 2}));
+  put_rows(dst, {}, Tensor({0, 2}));
+  EXPECT_EQ(take_rows(none, {}).dim(0), 0);
+  EXPECT_THROW(take_rows(none, {0}), std::out_of_range);
+}
+
 TEST(ShapeUtils, OneHot) {
   const Tensor oh = one_hot({1, 0, 2}, 3);
   EXPECT_EQ(oh.shape(), (Shape{3, 3}));
