@@ -5,7 +5,13 @@
 //
 // Expected shape (paper): IB-RAR(rob) > IB-RAR(all) > HBaR/VIB > CE on the
 // attack panels; all methods close on clean accuracy with CE lowest.
+//
+// Training and the step sweeps run through the analysis driver
+// (analysis::train_model / analysis::attack_step_sweep); every sweep point
+// and per-epoch accuracy is recorded to BENCH_fig2.json (ibrar-bench-v1,
+// headline metric in `checksum`).
 
+#include "analysis/driver.hpp"
 #include "common.hpp"
 
 using namespace ibrar;
@@ -45,43 +51,40 @@ int main() {
       paper_profile ? std::vector<std::int64_t>{1, 3, 5, 7, 9, 10, 20}
                     : std::vector<std::int64_t>{1, 5, 10};
 
+  JsonReporter reporter(env::get_string("IBRAR_BENCH_OUT", "BENCH_fig2.json"));
   std::vector<models::TapClassifierPtr> trained;
   std::vector<std::vector<train::EpochStats>> histories;
   Stopwatch sw;
   for (const auto& m : methods) {
+    core::MILossConfig mi = default_mi(m.sel);
+    auto tspec = train_spec(m.base, m.ibrar, s, 42, mi);
     std::vector<train::EpochStats> hist;
-    // Per-epoch test accuracy gives panel (d); re-run fit with eval.
-    Rng rng(42);
-    auto model = models::make_model(spec, rng);
-    train::ObjectivePtr obj;
-    if (m.ibrar) {
-      obj = std::make_shared<core::IBRARObjective>(nullptr, default_mi(m.sel));
-    } else {
-      obj = make_base_objective(m.base, s, *model);
-    }
-    train::Trainer trainer(model, obj, train_config(s));
-    if (m.ibrar) {
-      trainer.epoch_hook = core::make_mask_hook(core::FeatureMaskConfig{},
-                                                data.train);
-    }
-    hist = trainer.fit(data.train, &data.test);
+    // Per-epoch test accuracy gives panel (d).
+    auto model = analysis::train_model(spec, data, tspec, 42, &hist,
+                                       &data.test);
     trained.push_back(model);
     histories.push_back(std::move(hist));
     std::fprintf(stderr, "[bench] fig2 trained %s (%.1fs)\n", m.name, sw.reset());
   }
 
-  auto sweep = [&](const char* title, const std::vector<std::int64_t>& steps,
-                   auto make_attack) {
+  auto sweep = [&](const char* title, const char* attack,
+                   const std::vector<std::int64_t>& steps) {
     std::vector<std::string> header = {"Method"};
     for (const auto st : steps) header.push_back(std::to_string(st));
     Table table(header);
     for (std::size_t mi_ = 0; mi_ < methods.size(); ++mi_) {
+      const auto sw_result = analysis::attack_step_sweep(
+          *trained[mi_], data.test, attack, steps, attacks::AttackConfig{},
+          s.batch, s.eval_samples);
       std::vector<std::string> row = {methods[mi_].name};
-      for (const auto st : steps) {
-        auto atk = make_attack(st);
-        const double acc = train::evaluate_adversarial(
-            *trained[mi_], data.test, *atk, s.batch, s.eval_samples);
-        row.push_back(Table::num(100 * acc, 2));
+      for (std::size_t k = 0; k < steps.size(); ++k) {
+        row.push_back(Table::num(100 * sw_result.robust_acc[k], 2));
+        BenchRecord rec;
+        rec.kernel = std::string("fig2/") + attack + "/" + methods[mi_].name;
+        rec.shape = "steps=" + std::to_string(steps[k]);
+        rec.checksum = sw_result.robust_acc[k];
+        rec.ns_per_op = sw_result.seconds[k] * 1e9;
+        reporter.add(rec);
       }
       table.add_row(std::move(row));
       std::fprintf(stderr, "[bench] fig2 %s sweep %s done (%.1fs)\n", title,
@@ -92,21 +95,9 @@ int main() {
     std::printf("\n");
   };
 
-  sweep("a: PGD", pgd_steps, [](std::int64_t st) {
-    attacks::AttackConfig c;
-    c.steps = st;
-    return std::make_unique<attacks::PGD>(c);
-  });
-  sweep("b: CW", cw_steps, [](std::int64_t st) {
-    attacks::AttackConfig c;
-    c.steps = st;
-    return std::make_unique<attacks::CW>(c);
-  });
-  sweep("c: NIFGSM", ni_steps, [](std::int64_t st) {
-    attacks::AttackConfig c;
-    c.steps = st;
-    return std::make_unique<attacks::NIFGSM>(c);
-  });
+  sweep("a: PGD", "pgd", pgd_steps);
+  sweep("b: CW", "cw", cw_steps);
+  sweep("c: NIFGSM", "nifgsm", ni_steps);
 
   // Panel (d): clean accuracy per epoch.
   std::printf("-- (d) clean test accuracy per epoch --\n");
@@ -120,10 +111,16 @@ int main() {
     std::vector<std::string> row = {methods[m].name};
     for (const auto& st : histories[m]) {
       row.push_back(Table::num(100 * st.test_acc, 2));
+      BenchRecord rec;
+      rec.kernel = std::string("fig2/clean/") + methods[m].name;
+      rec.shape = "epoch=" + std::to_string(st.epoch);
+      rec.checksum = st.test_acc;
+      reporter.add(rec);
     }
     row.push_back(Table::num(methods[m].clean_ref, 2));
     table.add_row(std::move(row));
   }
   table.print();
+  reporter.write();
   return 0;
 }

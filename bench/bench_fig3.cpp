@@ -6,9 +6,14 @@
 // and silhouette, in both raw feature space and the 2-D t-SNE embedding.
 // Expected shape (paper): IB-RAR > plain and TRADES(IB-RAR) > TRADES on
 // separation — the regularizer increases inter-class distances.
+//
+// Capture and metrics run through the analysis driver (one tapped sweep via
+// analysis::capture_taps, then analysis::cluster_report); each method's four
+// metrics land in BENCH_fig3.json.
 
+#include "analysis/capture.hpp"
+#include "analysis/driver.hpp"
 #include "common.hpp"
-#include "mi/tsne.hpp"
 
 using namespace ibrar;
 using namespace ibrar::bench;
@@ -34,35 +39,42 @@ int main() {
   };
 
   const std::int64_t n_embed = std::min<std::int64_t>(data.test.size(), 200);
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(n_embed));
-  for (std::int64_t i = 0; i < n_embed; ++i) idx[static_cast<std::size_t>(i)] = i;
-  const auto batch = data::make_batch(data.test, idx);
 
+  JsonReporter reporter(env::get_string("IBRAR_BENCH_OUT", "BENCH_fig3.json"));
   Table table({"Method", "feat inter/intra", "feat silhouette",
                "tsne inter/intra", "tsne silhouette", "tsne KL proxy"});
   Stopwatch sw;
   for (const auto& m : methods) {
     auto model = train_method(m.base, m.ibrar, spec, data, s);
-    // Penultimate representation (last tap).
-    Tensor feats;
-    {
-      ag::NoGradGuard ng;
-      model->set_training(false);
-      auto out = model->forward_with_taps(ag::Var::constant(batch.x));
-      const Tensor& t = out.taps.back().value();
-      feats = t.reshape({t.dim(0), t.numel() / t.dim(0)});
+    // One tapped sweep; the penultimate representation is the last tap.
+    const auto dump = analysis::capture_taps(*model, data.test, n_embed,
+                                             s.batch);
+    const auto rep = analysis::cluster_report(dump, dump.taps.size() - 1);
+    table.add_row({m.name, Table::num(rep.feature.separation_ratio, 3),
+                   Table::num(rep.feature.silhouette, 3),
+                   Table::num(rep.embedding.separation_ratio, 3),
+                   Table::num(rep.embedding.silhouette, 3),
+                   Table::num(rep.embedding.mean_inter, 2)});
+    const double secs = sw.reset();
+    const struct {
+      const char* key;
+      double v;
+    } metrics[] = {{"feat_separation", rep.feature.separation_ratio},
+                   {"feat_silhouette", rep.feature.silhouette},
+                   {"tsne_separation", rep.embedding.separation_ratio},
+                   {"tsne_silhouette", rep.embedding.silhouette}};
+    for (const auto& mt : metrics) {
+      BenchRecord rec;
+      rec.kernel = std::string("fig3/") + mt.key;
+      rec.shape = m.name;
+      rec.checksum = mt.v;
+      rec.ns_per_op = secs * 1e9;
+      reporter.add(rec);
     }
-    const auto fm = mi::cluster_metrics(feats, batch.y);
-    const Tensor embed = mi::tsne(feats);
-    const auto em = mi::cluster_metrics(embed, batch.y);
-    table.add_row({m.name, Table::num(fm.separation_ratio, 3),
-                   Table::num(fm.silhouette, 3),
-                   Table::num(em.separation_ratio, 3),
-                   Table::num(em.silhouette, 3),
-                   Table::num(em.mean_inter, 2)});
-    std::fprintf(stderr, "[bench] fig3 %s done (%.1fs)\n", m.name, sw.reset());
+    std::fprintf(stderr, "[bench] fig3 %s done (%.1fs)\n", m.name, secs);
   }
   table.print();
+  reporter.write();
   std::printf("\nHigher separation/silhouette for the (IB-RAR) rows "
               "reproduces the figure's claim.\n");
   return 0;

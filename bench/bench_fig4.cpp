@@ -7,7 +7,10 @@
 //   lower-right: PGD-AT alone (converges, slower out of the plateau)
 //
 // The bench prints per-epoch natural and PGD accuracy traces for all four.
+// The warm start is the analysis driver's TrainSpec::mi_warm_start_epochs
+// (paper A.3); traces are recorded to BENCH_fig4.json.
 
+#include "analysis/driver.hpp"
 #include "common.hpp"
 
 using namespace ibrar;
@@ -20,43 +23,19 @@ std::vector<train::EpochStats> run(const models::ModelSpec& spec,
                                    const data::SyntheticData& data,
                                    const Scale& s, const std::string& base,
                                    bool ibrar, bool mi_warm_start) {
-  Rng rng(42);
-  auto model = models::make_model(spec, rng);
   attacks::AttackConfig pc;
   pc.steps = s.attack_steps;
   attacks::PGD eval_pgd(pc);
-
+  auto tspec = train_spec(base, ibrar, s);
+  if (mi_warm_start) tspec.mi_warm_start_epochs = 1;
   std::vector<train::EpochStats> history;
-  auto tc = train_config(s);
-  if (mi_warm_start) {
-    // Paper A.3: "we train the network with our MI loss method at the first
-    // epoch to jump out of the loop".
-    auto warm = std::make_shared<core::IBRARObjective>(nullptr, default_mi());
-    auto warm_tc = tc;
-    warm_tc.epochs = 1;
-    train::Trainer warm_trainer(model, warm, warm_tc);
-    auto h = warm_trainer.fit(data.train, &data.test, &eval_pgd, 100);
-    history.insert(history.end(), h.begin(), h.end());
-    tc.epochs -= 1;
-  }
-  train::ObjectivePtr obj;
-  if (ibrar) {
-    auto base_obj = make_base_objective(base, s, *model);
-    obj = std::make_shared<core::IBRARObjective>(base_obj, default_mi());
-  } else {
-    obj = make_base_objective(base, s, *model);
-  }
-  train::Trainer trainer(model, obj, tc);
-  if (ibrar) {
-    trainer.epoch_hook = core::make_mask_hook(core::FeatureMaskConfig{},
-                                              data.train);
-  }
-  auto h = trainer.fit(data.train, &data.test, &eval_pgd, 100);
-  history.insert(history.end(), h.begin(), h.end());
+  analysis::train_model(spec, data, tspec, 42, &history, &data.test, &eval_pgd,
+                        100);
   return history;
 }
 
-void print_trace(const char* name, const std::vector<train::EpochStats>& h) {
+void print_trace(JsonReporter& reporter, const char* name,
+                 const std::vector<train::EpochStats>& h) {
   std::printf("%s\n  epoch   :", name);
   for (const auto& s : h) std::printf(" %6lld", static_cast<long long>(s.epoch));
   std::printf("\n  natural :");
@@ -64,6 +43,18 @@ void print_trace(const char* name, const std::vector<train::EpochStats>& h) {
   std::printf("\n  adv(PGD):");
   for (const auto& s : h) std::printf(" %6.2f", 100 * s.adv_acc);
   std::printf("\n\n");
+  for (std::size_t e = 0; e < h.size(); ++e) {
+    BenchRecord rec;
+    rec.kernel = std::string("fig4/") + name;
+    rec.shape = "epoch=" + std::to_string(e) + "/natural";
+    rec.checksum = h[e].test_acc;
+    rec.ns_per_op = h[e].seconds * 1e9;
+    reporter.add(rec);
+    rec.shape = "epoch=" + std::to_string(e) + "/pgd";
+    rec.checksum = h[e].adv_acc;
+    rec.ns_per_op = 0;
+    reporter.add(rec);
+  }
 }
 
 }  // namespace
@@ -85,13 +76,15 @@ int main() {
   models::ModelSpec spec;
   spec.name = "vgg16";
 
-  print_trace("MART (may sit at the majority plateau early)",
+  JsonReporter reporter(env::get_string("IBRAR_BENCH_OUT", "BENCH_fig4.json"));
+  print_trace(reporter, "MART (may sit at the majority plateau early)",
               run(spec, data, s, "MART", false, false));
-  print_trace("MART + 1-epoch MI warm start (paper: converges)",
+  print_trace(reporter, "MART + 1-epoch MI warm start (paper: converges)",
               run(spec, data, s, "MART", false, true));
-  print_trace("PGD-AT + IB-RAR (paper: breaks the plateau fastest)",
+  print_trace(reporter, "PGD-AT + IB-RAR (paper: breaks the plateau fastest)",
               run(spec, data, s, "PGD", true, false));
-  print_trace("PGD-AT (paper: lingers at the plateau ~30 epochs)",
+  print_trace(reporter, "PGD-AT (paper: lingers at the plateau ~30 epochs)",
               run(spec, data, s, "PGD", false, false));
+  reporter.write();
   return 0;
 }

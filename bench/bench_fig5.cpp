@@ -10,9 +10,14 @@
 // Expected shape (paper): with the MI loss, I(X;T) is driven down
 // (compression) while I(T;Y) stays high; with CE only there is no
 // compression phase.
+//
+// The probe capture + HSIC estimation go through the analysis driver
+// (capture_taps + info_plane on a fixed probe subset); traces are recorded
+// to BENCH_fig5.json.
 
+#include "analysis/capture.hpp"
+#include "analysis/driver.hpp"
 #include "common.hpp"
-#include "mi/objective.hpp"
 
 using namespace ibrar;
 using namespace ibrar::bench;
@@ -34,37 +39,29 @@ IPTrace run(const models::ModelSpec& spec, const data::SyntheticData& data,
               : train::ObjectivePtr(std::make_shared<train::CEObjective>());
   train::Trainer trainer(model, obj, train_config(s));
 
-  // A fixed probe batch keeps the estimator comparable across recordings.
+  // A fixed probe subset keeps the estimator comparable across recordings.
   const std::int64_t n_probe = std::min<std::int64_t>(200, data.train.size());
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(n_probe));
-  for (std::int64_t i = 0; i < n_probe; ++i) idx[static_cast<std::size_t>(i)] = i;
-  const auto probe = data::make_batch(data.train, idx);
+  const data::Dataset probe = data.train.head(n_probe);
 
   IPTrace trace;
   const std::int64_t record_every = env::scaled_int("IBRAR_FIG5_EVERY", 2, 5);
-  mi::IBObjectiveConfig ib_cfg;
-  ib_cfg.layer_indices = {3};  // conv block 4 of VGG16 (the paper's layer)
-  trainer.batch_hook = [&, ib_cfg](std::int64_t, std::int64_t batch_idx,
-                                   models::TapClassifier& m,
-                                   const data::Batch&) {
+  trainer.batch_hook = [&](std::int64_t, std::int64_t batch_idx,
+                           models::TapClassifier& m, const data::Batch&) {
     if (batch_idx % record_every != 0) return;
-    ag::NoGradGuard ng;
-    m.set_training(false);
-    auto out = m.forward_with_taps(ag::Var::constant(probe.x));
-    std::vector<Tensor> taps;
-    taps.reserve(out.taps.size());
-    for (const auto& t : out.taps) taps.push_back(t.value());
-    const auto [hx, hy] = mi::ib_objective_terms(probe.x, taps, probe.y,
-                                                 m.num_classes(), ib_cfg);
-    trace.i_xt.push_back(hx);
-    trace.i_ty.push_back(hy);
-    m.set_training(true);
+    // One tapped sweep of the probe — filtered to conv block 4 of VGG16 (the
+    // paper's layer) so the hook copies a single tap, not all seven — then
+    // the Eq. (1) HSIC pair. capture_taps saves/restores the training mode
+    // around its eval-mode forwards.
+    const auto dump = analysis::capture_taps(m, probe, n_probe, n_probe, {3});
+    const auto plane = analysis::info_plane(dump, {0}, m.num_classes());
+    trace.i_xt.push_back(plane.i_xt[0]);
+    trace.i_ty.push_back(plane.i_ty[0]);
   };
   trainer.fit(data.train);
   return trace;
 }
 
-void print_trace(const char* name, const IPTrace& t) {
+void print_trace(JsonReporter& reporter, const char* name, const IPTrace& t) {
   std::printf("%s (recorded %zu points, chronological; HSIC x 1e3)\n", name,
               t.i_xt.size());
   std::printf("  I(X;T4):");
@@ -74,6 +71,16 @@ void print_trace(const char* name, const IPTrace& t) {
   std::printf("\n  compression I(X;T4) first->last: %.4f -> %.4f (x 1e3)\n\n",
               t.i_xt.empty() ? 0.0 : 1e3 * t.i_xt.front(),
               t.i_xt.empty() ? 0.0 : 1e3 * t.i_xt.back());
+  for (std::size_t i = 0; i < t.i_xt.size(); ++i) {
+    BenchRecord rec;
+    rec.kernel = std::string("fig5/") + name;
+    rec.shape = "point=" + std::to_string(i) + "/i_xt";
+    rec.checksum = t.i_xt[i];
+    reporter.add(rec);
+    rec.shape = "point=" + std::to_string(i) + "/i_ty";
+    rec.checksum = t.i_ty[i];
+    reporter.add(rec);
+  }
 }
 
 }  // namespace
@@ -86,8 +93,10 @@ int main() {
   models::ModelSpec spec;
   spec.name = "vgg16";
 
-  print_trace("MI loss (Eq. 1)", run(spec, data, s, true));
-  print_trace("Plain CE", run(spec, data, s, false));
+  JsonReporter reporter(env::get_string("IBRAR_BENCH_OUT", "BENCH_fig5.json"));
+  print_trace(reporter, "MI loss (Eq. 1)", run(spec, data, s, true));
+  print_trace(reporter, "Plain CE", run(spec, data, s, false));
+  reporter.write();
   std::printf("Paper shape: the MI-loss run compresses I(X;T) while retaining "
               "I(T;Y); the CE run shows no compression.\n");
   return 0;

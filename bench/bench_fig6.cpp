@@ -15,10 +15,10 @@ using namespace ibrar::bench;
 
 namespace {
 
-void sweep(const char* title, const std::string& model_name,
-           const std::string& base, const std::vector<double>& betas,
-           const data::SyntheticData& data, const Scale& s,
-           const std::vector<const char*>& attack_names) {
+void sweep(JsonReporter& reporter, const char* title,
+           const std::string& model_name, const std::string& base,
+           const std::vector<double>& betas, const data::SyntheticData& data,
+           const Scale& s, const std::vector<const char*>& attack_names) {
   models::ModelSpec spec;
   spec.name = model_name;
   spec.num_classes = data.train.num_classes;
@@ -61,6 +61,11 @@ void sweep(const char* title, const std::string& model_name,
                                           s.eval_samples);
       }
       row.push_back(Table::num(100 * acc, 2));
+      BenchRecord rec;
+      rec.kernel = std::string("fig6/") + title + "/" + a;
+      rec.shape = "beta=" + Table::num(beta, 3);
+      rec.checksum = acc;
+      reporter.add(rec);
     }
     table.add_row(std::move(row));
     std::fprintf(stderr, "[bench] fig6 %s beta=%.3f done (%.1fs)\n", title,
@@ -85,9 +90,11 @@ int main() {
           ? std::vector<double>{4.0, 2.0, 1.0, 0.5, 0.3, 0.15, 0.1, 0.06, 0.02, 0.0}
           : std::vector<double>{2.0, 0.5, 0.1, 0.0};
 
-  sweep("(a) PGD-AT, VGG16, synth-cifar10", "vgg16", "PGD", betas, data, s,
-        {"PGD", "CW", "FGSM"});
-  sweep("(b) TRADES, ResNet-18, synth-cifar10", "resnet18", "TRADES", betas,
-        data, s, {"PGD", "FAB", "FGSM"});
+  JsonReporter reporter(env::get_string("IBRAR_BENCH_OUT", "BENCH_fig6.json"));
+  sweep(reporter, "(a) PGD-AT, VGG16, synth-cifar10", "vgg16", "PGD", betas,
+        data, s, {"PGD", "CW", "FGSM"});
+  sweep(reporter, "(b) TRADES, ResNet-18, synth-cifar10", "resnet18", "TRADES",
+        betas, data, s, {"PGD", "FAB", "FGSM"});
+  reporter.write();
   return 0;
 }

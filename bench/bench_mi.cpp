@@ -1,0 +1,251 @@
+// MI-core A/B bench: the seed estimators vs the blocked/fused pipeline.
+//
+// Baselines are the shapes the repo's MI path had before the rebuild:
+//   * seed_gram_gaussian — the O(n^2 d) per-pair distance loop (no GEMM,
+//     no symmetry), the textbook form the Gram construction started from;
+//   * seed_hsic — explicit H = I - 11^T/m centering via two dense matmuls
+//     (gemm_naive), exactly the old differentiable-path graph.
+// Against them:
+//   * mi::gram_gaussian — symmetric blocked GEMM (matmul_nt_sym) + fused
+//     exp pass over the upper triangle;
+//   * mi::hsic — fused centering from row/column/grand sums (no H, no
+//     centered matrix).
+//
+// Gates (nonzero exit on failure, for CI and the bench_mi_smoke CTest run):
+//   1. numerical parity: |blocked - seed| / |seed| <= 1e-4 on the end-to-end
+//      Gram+HSIC value (or <= 1e-7 absolute for near-zero values);
+//   2. determinism: Gram and HSIC at IBRAR_BENCH_THREADS lanes bit-identical
+//      to the 1-lane run.
+//
+//   ./bench_mi            n=512, d=4096 (the acceptance shape), best-of-3
+//   ./bench_mi --smoke    tiny shape, 1 rep — the CTest form
+//
+// Records land in BENCH_pr4.json (override with IBRAR_BENCH_OUT; smoke runs
+// write BENCH_smoke_mi.json): `checksum` carries the Gram checksum / HSIC
+// value, `speedup_vs_naive` the seed-vs-blocked ratio.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mi/hsic.hpp"
+#include "reporter.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/gemm_packed.hpp"
+#include "tensor/random.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace ibrar::bench {
+namespace {
+
+/// The seed Gram construction: one pass per pair over all d features.
+/// Per-pair accumulation in double (the form the old pairwise loop's
+/// float-GEMM identity was validated against). Serial on purpose.
+Tensor seed_gram_gaussian(const Tensor& x, float sigma) {
+  const auto n = x.dim(0);
+  const auto d = x.dim(1);
+  const float scale = -1.0f / (2.0f * sigma * sigma);
+  const float* px = x.data().data();
+  Tensor k({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const float* xi = px + i * d;
+      const float* xj = px + j * d;
+      for (std::int64_t t = 0; t < d; ++t) {
+        const double diff = static_cast<double>(xi[t]) - xj[t];
+        s += diff * diff;
+      }
+      k.at(i, j) = std::exp(static_cast<float>(s) * scale);
+    }
+  }
+  return k;
+}
+
+/// The seed HSIC: materialize H, center with two dense matmuls, trace.
+float seed_hsic(const Tensor& kx, const Tensor& ky) {
+  const auto m = kx.dim(0);
+  Tensor h = Tensor::eye(m);
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) h.at(i, j) -= inv_m;
+  }
+  Tensor hk({m, m}), hkh({m, m});
+  gemm_naive(h.data().data(), GemmLayout::kRowMajor, kx.data().data(),
+             GemmLayout::kRowMajor, hk.data().data(), m, m, m);
+  gemm_naive(hk.data().data(), GemmLayout::kRowMajor, h.data().data(),
+             GemmLayout::kRowMajor, hkh.data().data(), m, m, m);
+  double tr = 0.0;
+  for (std::int64_t i = 0; i < m * m; ++i) tr += static_cast<double>(hkh[i]) * ky[i];
+  const double denom = static_cast<double>(m - 1) * static_cast<double>(m - 1);
+  return static_cast<float>(tr / denom);
+}
+
+bool close(double a, double b, double rel, double abs_floor) {
+  const double diff = std::fabs(a - b);
+  return diff <= abs_floor || diff <= rel * std::max(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace
+}  // namespace ibrar::bench
+
+int main(int argc, char** argv) {
+  using namespace ibrar;
+  using namespace ibrar::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  const std::int64_t bench_threads = env::get_int(
+      "IBRAR_BENCH_THREADS", hc == 0 ? 4 : static_cast<long>(hc));
+  const int reps = smoke ? 1 : 3;
+
+  // The acceptance shape: n=512 samples, d=4096 features (a flattened conv
+  // tap), y = a 64-wide projection of x so HSIC is solidly nonzero and the
+  // relative-parity gate is meaningful.
+  const std::int64_t n = smoke ? 64 : 512;
+  const std::int64_t d = smoke ? 128 : 4096;
+  const std::int64_t dy = smoke ? 16 : 64;
+  Rng rng(0x1b2a4u);
+  const Tensor x = randn({n, d}, rng);
+  Tensor y({n, dy});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < dy; ++j) y.at(i, j) = x.at(i, j);
+  }
+  const float sx = mi::scaled_sigma(d);
+  const float sy = mi::scaled_sigma(dy);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "n=%lld,d=%lld",
+                static_cast<long long>(n), static_cast<long long>(d));
+
+  std::printf("=== MI core A/B: seed pairwise/explicit-H vs blocked/fused "
+              "(1 thread), blocked at %lld lanes ===\n",
+              static_cast<long long>(bench_threads));
+
+  JsonReporter reporter(smoke ? "BENCH_smoke_mi.json"
+                              : env::get_string("IBRAR_BENCH_OUT",
+                                                "BENCH_pr4.json"));
+  bool ok = true;
+
+  // ---- seed pipeline, 1 thread ---------------------------------------------
+  runtime::set_num_threads(1);
+  Tensor kx_seed, ky_seed;
+  float h_seed = 0.0f;
+  const double t_seed = time_best_ms(
+      [&] {
+        kx_seed = seed_gram_gaussian(x, sx);
+        ky_seed = seed_gram_gaussian(y, sy);
+        h_seed = seed_hsic(kx_seed, ky_seed);
+      },
+      reps);
+
+  // ---- blocked/fused pipeline, 1 thread ------------------------------------
+  Tensor kx_1, ky_1;
+  float h_1 = 0.0f;
+  const double t_1 = time_best_ms(
+      [&] {
+        kx_1 = mi::gram_gaussian(x, sx);
+        ky_1 = mi::gram_gaussian(y, sy);
+        h_1 = mi::hsic(kx_1, ky_1);
+      },
+      reps);
+
+  // ---- blocked/fused pipeline, N lanes --------------------------------------
+  runtime::set_num_threads(bench_threads);
+  Tensor kx_n, ky_n;
+  float h_n = 0.0f;
+  const double t_n = time_best_ms(
+      [&] {
+        kx_n = mi::gram_gaussian(x, sx);
+        ky_n = mi::gram_gaussian(y, sy);
+        h_n = mi::hsic(kx_n, ky_n);
+      },
+      reps);
+  runtime::set_num_threads(1);
+
+  // Gates.
+  const bool parity =
+      close(h_1, h_seed, 1e-4, 1e-7) &&
+      close(tensor_checksum(kx_1), tensor_checksum(kx_seed),
+            1e-4, 1e-6 * static_cast<double>(n) * static_cast<double>(n));
+  const bool deterministic = tensor_bits_equal(kx_1, kx_n) &&
+                             tensor_bits_equal(ky_1, ky_n) &&
+                             std::memcmp(&h_1, &h_n, sizeof(float)) == 0;
+  const double speedup = t_1 > 0 ? t_seed / t_1 : 0.0;
+
+  Table table({"pipeline", "ms", "HSIC", "speedup", "parity<=1e-4",
+               "bits 1=N"});
+  char ms[32], hv[32], sp[32];
+  std::snprintf(ms, sizeof(ms), "%.2f", t_seed);
+  std::snprintf(hv, sizeof(hv), "%.6g", static_cast<double>(h_seed));
+  table.add_row({"seed pairwise + explicit-H", ms, hv, "1.00x", "-", "-"});
+  std::snprintf(ms, sizeof(ms), "%.2f", t_1);
+  std::snprintf(hv, sizeof(hv), "%.6g", static_cast<double>(h_1));
+  std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
+  table.add_row({"blocked gram + fused HSIC (1t)", ms, hv, sp,
+                 parity ? "yes" : "NO", "-"});
+  std::snprintf(ms, sizeof(ms), "%.2f", t_n);
+  std::snprintf(hv, sizeof(hv), "%.6g", static_cast<double>(h_n));
+  std::snprintf(sp, sizeof(sp), "%.2fx", t_n > 0 ? t_seed / t_n : 0.0);
+  table.add_row({"blocked gram + fused HSIC (Nt)", ms, hv, sp, "-",
+                 deterministic ? "yes" : "NO"});
+  table.print();
+
+  BenchRecord seed_rec;
+  seed_rec.kernel = "mi_gram_hsic_seed";
+  seed_rec.shape = shape;
+  seed_rec.ns_per_op = t_seed * 1e6;
+  seed_rec.threads = 1;
+  seed_rec.checksum = h_seed;
+  reporter.add(seed_rec);
+
+  BenchRecord rec1 = seed_rec;
+  rec1.kernel = "mi_gram_hsic_blocked";
+  rec1.ns_per_op = t_1 * 1e6;
+  rec1.checksum = h_1;
+  rec1.speedup_vs_naive = speedup;
+  rec1.bit_identical = parity;  // parity gate outcome (tolerance, not bits)
+  reporter.add(rec1);
+
+  BenchRecord recn = rec1;
+  recn.threads = bench_threads;
+  recn.ns_per_op = t_n * 1e6;
+  recn.checksum = h_n;
+  recn.speedup_vs_naive = t_n > 0 ? t_seed / t_n : 0.0;
+  recn.bit_identical = deterministic;
+  reporter.add(recn);
+
+  BenchRecord gram_rec;
+  gram_rec.kernel = "mi_gram_blocked";
+  gram_rec.shape = shape;
+  gram_rec.threads = 1;
+  gram_rec.checksum = tensor_checksum(kx_1);
+  gram_rec.bit_identical = tensor_bits_equal(kx_1, kx_n);
+  reporter.add(gram_rec);
+
+  reporter.write();
+
+  if (!parity) {
+    std::fprintf(stderr, "FAIL: parity gate (seed %.8g vs blocked %.8g)\n",
+                 static_cast<double>(h_seed), static_cast<double>(h_1));
+    ok = false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: 1-vs-%lld-lane determinism gate\n",
+                 static_cast<long long>(bench_threads));
+    ok = false;
+  }
+  if (!smoke && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: single-thread speedup %.2fx below the 5x floor\n",
+                 speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/driver.hpp"
 #include "attacks/cw.hpp"
 #include "attacks/fab.hpp"
 #include "attacks/fgsm.hpp"
@@ -87,17 +88,25 @@ inline core::MILossConfig default_mi(core::LayerSelection sel =
 }
 
 /// Base objective by name: "CE" | "PGD" | "TRADES" | "MART" | "HBaR" | "VIB".
+/// Thin wrapper over the analysis driver's factory (the objective wiring
+/// lives in src/analysis; the Scale only supplies the inner attack budget).
 inline train::ObjectivePtr make_base_objective(const std::string& name,
                                                const Scale& s,
                                                models::TapClassifier& model) {
-  const auto inner = inner_attack_config(s);
-  if (name == "CE") return std::make_shared<train::CEObjective>();
-  if (name == "PGD") return std::make_shared<train::PGDATObjective>(inner);
-  if (name == "TRADES") return std::make_shared<train::TRADESObjective>(inner);
-  if (name == "MART") return std::make_shared<train::MARTObjective>(inner);
-  if (name == "HBaR") return std::make_shared<train::HBaRObjective>();
-  if (name == "VIB") return std::make_shared<train::VIBObjective>(model);
-  throw std::invalid_argument("unknown objective " + name);
+  return analysis::make_base_objective(name, inner_attack_config(s), model);
+}
+
+/// Assemble an analysis::TrainSpec from bench Scale + method knobs.
+inline analysis::TrainSpec train_spec(const std::string& base, bool ibrar,
+                                      const Scale& s, std::uint64_t seed = 42,
+                                      core::MILossConfig mi = default_mi()) {
+  analysis::TrainSpec spec;
+  spec.base = base;
+  spec.ibrar = ibrar;
+  spec.mi = std::move(mi);
+  spec.inner = inner_attack_config(s);
+  spec.train = train_config(s, seed);
+  return spec;
 }
 
 /// Train one model: `base` objective, optionally wrapped with IB-RAR (MI loss
@@ -107,25 +116,9 @@ inline models::TapClassifierPtr train_method(
     const data::SyntheticData& data, const Scale& s, std::uint64_t seed = 42,
     std::vector<train::EpochStats>* history = nullptr,
     core::MILossConfig mi = default_mi()) {
-  Rng rng(seed);
-  auto model = models::make_model(spec, rng);
-  train::ObjectivePtr obj;
-  if (base == "plain" || base == "CE") {
-    obj = ibrar ? std::make_shared<core::IBRARObjective>(nullptr, mi)
-                : train::ObjectivePtr(std::make_shared<train::CEObjective>());
-  } else {
-    auto base_obj = make_base_objective(base, s, *model);
-    obj = ibrar ? std::make_shared<core::IBRARObjective>(base_obj, mi)
-                : base_obj;
-  }
-  train::Trainer trainer(model, obj, train_config(s, seed));
-  if (ibrar) {
-    trainer.epoch_hook = core::make_mask_hook(core::FeatureMaskConfig{},
-                                              data.train);
-  }
-  auto h = trainer.fit(data.train);
-  if (history != nullptr) *history = std::move(h);
-  return model;
+  return analysis::train_model(spec, data,
+                               train_spec(base, ibrar, s, seed, std::move(mi)),
+                               seed, history);
 }
 
 /// The paper's five evaluation attacks + clean accuracy.

@@ -3,8 +3,11 @@
 // single layer, measure PGD accuracy, and report which layers are "robust".
 // Finishes by training an IB-RAR model restricted to the discovered layers.
 
+#include <algorithm>
 #include <cstdio>
 
+#include "analysis/capture.hpp"
+#include "analysis/driver.hpp"
 #include "attacks/registry.hpp"
 #include "core/ibrar.hpp"
 #include "core/robust_layers.hpp"
@@ -70,5 +73,18 @@ int main() {
     std::printf("  %s %.2f%%", a.name.c_str(), 100 * a.robust_acc);
   }
   std::printf("  worst-case %.2f%%\n", 100 * robust.worst_case_acc);
+
+  // Eq. (3) view of the trained model: one tapped capture, then per-channel
+  // HSIC(f_c, Y) of the last conv block — the scores the feature mask drops
+  // its bottom 5% by.
+  const auto dump = analysis::capture_taps(*model, data.test, 150);
+  const auto scores =
+      analysis::last_conv_channel_scores(dump, *model, model->num_classes());
+  auto sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  std::printf("Eq. 3 channel scores over %zu channels: min %.4g, median %.4g, "
+              "max %.4g (lowest 5%% are masked)\n",
+              scores.size(), sorted.front(), sorted[sorted.size() / 2],
+              sorted.back());
   return 0;
 }

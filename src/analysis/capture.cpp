@@ -1,0 +1,113 @@
+#include "analysis/capture.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "autograd/var.hpp"
+#include "tensor/reduce.hpp"
+
+namespace ibrar::analysis {
+namespace {
+
+/// Restores the model's training mode on scope exit, so a throwing forward
+/// (or a tap-consistency check) cannot leave a training-time caller — e.g.
+/// the fig5 batch hook — silently stuck in eval mode.
+class TrainingModeGuard {
+ public:
+  explicit TrainingModeGuard(models::TapClassifier& model)
+      : model_(model), was_training_(model.training()) {
+    model_.set_training(false);
+  }
+  ~TrainingModeGuard() { model_.set_training(was_training_); }
+  TrainingModeGuard(const TrainingModeGuard&) = delete;
+  TrainingModeGuard& operator=(const TrainingModeGuard&) = delete;
+
+ private:
+  models::TapClassifier& model_;
+  bool was_training_;
+};
+
+/// Copy the rows of `src` (any rank, axis 0 = batch) into rows [row0, ...)
+/// of the preallocated flat (n, d) matrix `dst`.
+void copy_rows_flat(Tensor& dst, std::int64_t row0, const Tensor& src) {
+  const auto rows = src.dim(0);
+  const auto d = src.numel() / rows;
+  if (dst.dim(1) != d) {
+    throw std::runtime_error("capture_taps: tap width changed between batches");
+  }
+  std::memcpy(dst.data().data() + row0 * d, src.data().data(),
+              sizeof(float) * static_cast<std::size_t>(rows * d));
+}
+
+}  // namespace
+
+TapDump capture_taps(models::TapClassifier& model, const data::Dataset& ds,
+                     std::int64_t max_samples, std::int64_t batch,
+                     const std::vector<std::size_t>& tap_indices) {
+  const std::int64_t n =
+      max_samples > 0 ? std::min(max_samples, ds.size()) : ds.size();
+  if (n <= 0) throw std::invalid_argument("capture_taps: empty dataset");
+  if (batch <= 0) throw std::invalid_argument("capture_taps: batch must be > 0");
+
+  const auto& all_names = model.tap_names();
+  std::vector<std::size_t> selected = tap_indices;
+  if (selected.empty()) {
+    selected.resize(all_names.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) selected[i] = i;
+  }
+  for (const auto idx : selected) {
+    if (idx >= all_names.size()) {
+      throw std::out_of_range("capture_taps: tap index");
+    }
+  }
+
+  TapDump dump;
+  dump.tap_names.reserve(selected.size());
+  for (const auto idx : selected) dump.tap_names.push_back(all_names[idx]);
+  dump.labels.assign(ds.labels.begin(), ds.labels.begin() + n);
+  dump.preds.resize(static_cast<std::size_t>(n));
+
+  ag::NoGradGuard ng;
+  TrainingModeGuard mode(model);
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < n; b += batch) {
+    const std::int64_t e = std::min(n, b + batch);
+    const auto chunk = data::make_batch(ds, b, e);
+    auto out = model.forward_with_taps(ag::Var::constant(chunk.x));
+    if (out.taps.size() != all_names.size()) {
+      throw std::runtime_error("capture_taps: tap count does not match tap_names");
+    }
+    if (b == 0) {
+      // Widths are known only after the first forward; allocate everything.
+      dump.inputs = Tensor({n, chunk.x.numel() / chunk.x.dim(0)});
+      dump.logits = Tensor({n, out.logits.value().dim(1)});
+      dump.taps.reserve(selected.size());
+      for (const auto idx : selected) {
+        const Tensor& t = out.taps[idx].value();
+        dump.taps.emplace_back(Shape{n, t.numel() / t.dim(0)});
+        Shape full = t.shape();
+        full[0] = n;
+        dump.tap_shapes.push_back(std::move(full));
+      }
+    }
+    copy_rows_flat(dump.inputs, b, chunk.x);
+    copy_rows_flat(dump.logits, b, out.logits.value());
+    for (std::size_t t = 0; t < selected.size(); ++t) {
+      copy_rows_flat(dump.taps[t], b, out.taps[selected[t]].value());
+    }
+    const auto preds = argmax_rows(out.logits.value());
+    for (std::int64_t i = b; i < e; ++i) {
+      dump.preds[static_cast<std::size_t>(i)] =
+          preds[static_cast<std::size_t>(i - b)];
+      if (preds[static_cast<std::size_t>(i - b)] ==
+          dump.labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+  }
+  dump.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return dump;
+}
+
+}  // namespace ibrar::analysis

@@ -1,9 +1,8 @@
 #include "mi/binned_mi.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "tensor/ops.hpp"
 
@@ -22,55 +21,82 @@ double entropy_bits(const std::unordered_map<std::uint64_t, std::int64_t>& count
 
 }  // namespace
 
-IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
-                  std::int64_t num_classes, std::int64_t bins) {
-  if (t.rank() != 2) throw std::invalid_argument("binned_mi: t must be 2-D");
+StreamingBinnedMi::StreamingBinnedMi(std::int64_t num_classes,
+                                     std::int64_t bins, float lo, float hi)
+    : num_classes_(num_classes),
+      bins_(bins),
+      lo_(lo),
+      range_(std::max(hi - lo, 1e-9f)),
+      per_class_(static_cast<std::size_t>(num_classes)),
+      class_totals_(static_cast<std::size_t>(num_classes), 0) {
+  if (num_classes < 1 || bins < 1) {
+    throw std::invalid_argument("StreamingBinnedMi: need classes, bins >= 1");
+  }
+}
+
+void StreamingBinnedMi::add(const Tensor& t,
+                            const std::vector<std::int64_t>& labels) {
+  if (t.rank() != 2) throw std::invalid_argument("StreamingBinnedMi: t must be 2-D");
   const auto n = t.dim(0);
   const auto d = t.dim(1);
   if (static_cast<std::int64_t>(labels.size()) != n) {
-    throw std::invalid_argument("binned_mi: label count mismatch");
+    throw std::invalid_argument("StreamingBinnedMi: label count mismatch");
   }
-
-  const float lo = min_all(t);
-  const float hi = max_all(t);
-  const float range = std::max(hi - lo, 1e-9f);
-
-  // Hash each sample's binned activation pattern (FNV-1a over bin indices).
-  std::vector<std::uint64_t> codes(static_cast<std::size_t>(n));
+  // Validate the whole chunk before touching any accumulator state, so a bad
+  // label cannot leave counts and total_ inconsistent for a caller that
+  // catches the throw and keeps streaming.
+  for (const auto y : labels) {
+    if (y < 0 || y >= num_classes_) {
+      throw std::out_of_range("StreamingBinnedMi: label out of range");
+    }
+  }
   for (std::int64_t i = 0; i < n; ++i) {
+    // FNV-1a over the sample's bin indices: the code depends only on the
+    // sample's own values and the pinned range, never on the chunking.
     std::uint64_t h = 1469598103934665603ull;
     for (std::int64_t j = 0; j < d; ++j) {
       const float v = t.at(i, j);
-      auto b = static_cast<std::int64_t>((v - lo) / range * static_cast<float>(bins));
-      b = std::min(b, bins - 1);
+      auto b = static_cast<std::int64_t>((v - lo_) / range_ *
+                                         static_cast<float>(bins_));
+      b = std::min(std::max<std::int64_t>(b, 0), bins_ - 1);
       h ^= static_cast<std::uint64_t>(b + 1);
       h *= 1099511628211ull;
     }
-    codes[static_cast<std::size_t>(i)] = h;
-  }
-
-  std::unordered_map<std::uint64_t, std::int64_t> code_counts;
-  std::vector<std::unordered_map<std::uint64_t, std::int64_t>> per_class(
-      static_cast<std::size_t>(num_classes));
-  std::vector<std::int64_t> class_totals(static_cast<std::size_t>(num_classes), 0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    code_counts[codes[static_cast<std::size_t>(i)]]++;
     const auto y = labels[static_cast<std::size_t>(i)];
-    per_class.at(static_cast<std::size_t>(y))[codes[static_cast<std::size_t>(i)]]++;
-    class_totals[static_cast<std::size_t>(y)]++;
+    code_counts_[h]++;
+    per_class_[static_cast<std::size_t>(y)][h]++;
+    class_totals_[static_cast<std::size_t>(y)]++;
   }
+  total_ += n;
+}
 
+IPPoint StreamingBinnedMi::value() const {
   IPPoint p;
-  p.i_xt = entropy_bits(code_counts, n);  // H(T); H(T|X)=0 for deterministic T
+  if (total_ == 0) return p;
+  p.i_xt = entropy_bits(code_counts_, total_);  // H(T); H(T|X)=0, T is deterministic
   double h_t_given_y = 0.0;
-  for (std::int64_t y = 0; y < num_classes; ++y) {
-    const auto ny = class_totals[static_cast<std::size_t>(y)];
+  for (std::int64_t y = 0; y < num_classes_; ++y) {
+    const auto ny = class_totals_[static_cast<std::size_t>(y)];
     if (ny == 0) continue;
-    const double py = static_cast<double>(ny) / static_cast<double>(n);
-    h_t_given_y += py * entropy_bits(per_class[static_cast<std::size_t>(y)], ny);
+    const double py = static_cast<double>(ny) / static_cast<double>(total_);
+    h_t_given_y += py * entropy_bits(per_class_[static_cast<std::size_t>(y)], ny);
   }
   p.i_ty = std::max(0.0, p.i_xt - h_t_given_y);
   return p;
+}
+
+IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
+                  std::int64_t num_classes, std::int64_t bins, float lo,
+                  float hi) {
+  StreamingBinnedMi acc(num_classes, bins, lo, hi);
+  acc.add(t, labels);
+  return acc.value();
+}
+
+IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
+                  std::int64_t num_classes, std::int64_t bins) {
+  if (t.rank() != 2) throw std::invalid_argument("binned_mi: t must be 2-D");
+  return binned_mi(t, labels, num_classes, bins, min_all(t), max_all(t));
 }
 
 }  // namespace ibrar::mi

@@ -3,7 +3,16 @@
 // (paper Fig. 5), following Shwartz-Ziv & Tishby: activations are discretized
 // into fixed bins; I(X;T) = H(T) (T is deterministic given X) and
 // I(T;Y) = H(T) - H(T|Y), both in bits.
+//
+// The batch form scans once for the activation range and once to bin; the
+// streaming form (StreamingBinnedMi) accumulates code counts chunk by chunk
+// against a caller-pinned range, so the whole test set can be estimated from
+// per-batch forward passes without concatenating activations. With the same
+// range, chunked and batch results are identical (each sample's bin code
+// depends only on its own values and the range).
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -15,10 +24,41 @@ struct IPPoint {
   double i_ty = 0.0;  ///< I(T;Y) in bits
 };
 
+/// Chunk-by-chunk estimator with a pinned activation range [lo, hi].
+class StreamingBinnedMi {
+ public:
+  StreamingBinnedMi(std::int64_t num_classes, std::int64_t bins, float lo,
+                    float hi);
+
+  /// One chunk of samples: t is (c, d), labels has length c.
+  void add(const Tensor& t, const std::vector<std::int64_t>& labels);
+
+  /// Information-plane coordinates of everything added so far.
+  IPPoint value() const;
+
+  std::int64_t samples() const { return total_; }
+
+ private:
+  std::int64_t num_classes_;
+  std::int64_t bins_;
+  float lo_;
+  float range_;
+  std::int64_t total_ = 0;
+  std::unordered_map<std::uint64_t, std::int64_t> code_counts_;
+  std::vector<std::unordered_map<std::uint64_t, std::int64_t>> per_class_;
+  std::vector<std::int64_t> class_totals_;
+};
+
 /// Estimate the information-plane coordinates of a representation `t` (rows =
 /// samples, flattened features) against integer labels, using `bins` uniform
 /// bins spanning the empirical activation range.
 IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
                   std::int64_t num_classes, std::int64_t bins = 30);
+
+/// Range-pinned overload (the streaming core in one call): bins span [lo, hi]
+/// instead of the empirical range.
+IPPoint binned_mi(const Tensor& t, const std::vector<std::int64_t>& labels,
+                  std::int64_t num_classes, std::int64_t bins, float lo,
+                  float hi);
 
 }  // namespace ibrar::mi

@@ -3,86 +3,149 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "runtime/parallel_for.hpp"
-#include "tensor/matmul.hpp"
-#include "tensor/ops.hpp"
 
 namespace ibrar::mi {
 namespace {
 
-/// Center a Gram matrix: H K H with H = I - 11^T/m.
-Tensor center(const Tensor& k) {
+/// Row sums, column sums, and the grand total of a square matrix — everything
+/// H K H = K - rowmean - colmean + grand needs, without materializing the
+/// centered matrix. Rows and columns each sum in ascending index order inside
+/// fixed-grain chunks, so the result is the same at any pool size.
+struct GramSums {
+  std::vector<double> row;  ///< row[i]   = sum_j K(i, j)
+  std::vector<double> col;  ///< col[j]   = sum_i K(i, j)
+  double total = 0.0;       ///< sum_ij K(i, j)
+};
+
+GramSums gram_sums(const Tensor& k) {
   const auto m = k.dim(0);
-  // Row means, column means, grand mean: HKH = K - rowmean - colmean + grand.
-  // Rows and columns sum independently (each in ascending index order) and
-  // the grand total combines the row sums in index order, so the result is
-  // the same for any pool size.
-  Tensor out(k.shape());
-  std::vector<double> row_mean(static_cast<std::size_t>(m), 0.0);
-  std::vector<double> col_mean(static_cast<std::size_t>(m), 0.0);
+  GramSums s;
+  s.row.assign(static_cast<std::size_t>(m), 0.0);
+  s.col.assign(static_cast<std::size_t>(m), 0.0);
+  const float* pk = k.data().data();
   const std::int64_t grain = runtime::grain_for(m);
   runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      double s = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) s += k.at(i, j);
-      row_mean[static_cast<std::size_t>(i)] = s;
+      double acc = 0.0;
+      const float* row = pk + i * m;
+      for (std::int64_t j = 0; j < m; ++j) acc += row[j];
+      s.row[static_cast<std::size_t>(i)] = acc;
     }
   });
   runtime::parallel_for(0, m, grain, [&](std::int64_t j0, std::int64_t j1) {
     for (std::int64_t j = j0; j < j1; ++j) {
-      double s = 0.0;
-      for (std::int64_t i = 0; i < m; ++i) s += k.at(i, j);
-      col_mean[static_cast<std::size_t>(j)] = s;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < m; ++i) acc += pk[i * m + j];
+      s.col[static_cast<std::size_t>(j)] = acc;
     }
   });
-  double grand = 0.0;
-  for (const auto v : row_mean) grand += v;
-  for (auto& v : row_mean) v /= m;
-  for (auto& v : col_mean) v /= m;
-  grand /= double(m) * m;
-  runtime::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t j = 0; j < m; ++j) {
-        out.at(i, j) = static_cast<float>(k.at(i, j) -
-                                          row_mean[static_cast<std::size_t>(i)] -
-                                          col_mean[static_cast<std::size_t>(j)] +
-                                          grand);
-      }
-    }
-  });
+  for (const auto v : s.row) s.total += v;
+  return s;
+}
+
+/// tr((H Kx H) Ky^T) = sum_ij (H Kx H)_ij Ky_ij, assembled from the sums:
+///   sum_ij Kx_ij Ky_ij - (1/m) sum_i rowx_i rowy_i - (1/m) sum_j colx_j coly_j
+///   + totalx * totaly / m^2.
+/// No centered matrix is ever formed; the only O(m^2) work is the elementwise
+/// dot, reduced over fixed-grain row chunks in ascending order.
+double centered_trace(const Tensor& kx, const Tensor& ky, const GramSums& sx,
+                      const GramSums& sy) {
+  const auto m = kx.dim(0);
+  const float* px = kx.data().data();
+  const float* py = ky.data().data();
+  const double dot = runtime::parallel_reduce(
+      std::int64_t{0}, m, runtime::grain_for(m), 0.0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        double acc = 0.0;
+        for (std::int64_t u = i0 * m; u < i1 * m; ++u) {
+          acc += static_cast<double>(px[u]) * static_cast<double>(py[u]);
+        }
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+  double row_dot = 0.0, col_dot = 0.0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    row_dot += sx.row[static_cast<std::size_t>(i)] * sy.row[static_cast<std::size_t>(i)];
+    col_dot += sx.col[static_cast<std::size_t>(i)] * sy.col[static_cast<std::size_t>(i)];
+  }
+  const double dm = static_cast<double>(m);
+  return dot - row_dot / dm - col_dot / dm + sx.total * sy.total / (dm * dm);
+}
+
+void check_grams(const Tensor& kx, const Tensor& ky) {
+  if (kx.rank() != 2 || kx.dim(0) != kx.dim(1) || !(kx.shape() == ky.shape())) {
+    throw std::invalid_argument("hsic: Gram matrices must be square and equal");
+  }
+}
+
+/// g * (H A H) built directly from precomputed sums: the gradient of the
+/// fused trace with respect to the *other* Gram matrix. O(m^2), no GEMM,
+/// no H.
+Tensor centered_scaled(const Tensor& a, const GramSums& s, float g) {
+  const auto m = a.dim(0);
+  const double dm = static_cast<double>(m);
+  const double grand = s.total / (dm * dm);
+  Tensor out(a.shape());
+  const float* pa = a.data().data();
+  float* po = out.data().data();
+  runtime::parallel_for(
+      0, m, runtime::grain_for(m), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double ri = s.row[static_cast<std::size_t>(i)] / dm;
+          for (std::int64_t j = 0; j < m; ++j) {
+            po[i * m + j] = g * static_cast<float>(
+                                    pa[i * m + j] -
+                                    s.col[static_cast<std::size_t>(j)] / dm -
+                                    ri + grand);
+          }
+        }
+      });
   return out;
 }
 
 }  // namespace
 
 float hsic(const Tensor& kx, const Tensor& ky) {
-  if (kx.rank() != 2 || kx.dim(0) != kx.dim(1) || !(kx.shape() == ky.shape())) {
-    throw std::invalid_argument("hsic: Gram matrices must be square and equal");
-  }
+  check_grams(kx, ky);
   const auto m = kx.dim(0);
   if (m < 2) return 0.0f;
-  const Tensor ck = center(kx);
-  // tr(HKxH Ky) = sum_ij (HKxH)_ij (Ky)_ji; both symmetric -> elementwise dot.
-  const float tr = dot(ck, ky);
-  const float denom = static_cast<float>((m - 1)) * static_cast<float>(m - 1);
-  return tr / denom;
+  const GramSums sx = gram_sums(kx);
+  const GramSums sy = gram_sums(ky);
+  const double denom = static_cast<double>(m - 1) * static_cast<double>(m - 1);
+  return static_cast<float>(centered_trace(kx, ky, sx, sy) / denom);
 }
 
 ag::Var hsic(const ag::Var& kx, const ag::Var& ky) {
+  check_grams(kx.value(), ky.value());
   const auto m = kx.shape()[0];
   if (m < 2) return ag::Var::constant(Tensor::scalar(0.0f));
-  // H as an explicit constant matrix: small m (a minibatch) keeps this cheap.
-  Tensor h = Tensor::eye(m);
-  const float inv_m = 1.0f / static_cast<float>(m);
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < m; ++j) h.at(i, j) -= inv_m;
-  }
-  ag::Var hv = ag::Var::constant(h);
-  ag::Var centered = ag::matmul(ag::matmul(hv, kx), hv);
-  ag::Var tr = ag::sum(ag::mul(centered, ky));
-  const float denom = static_cast<float>((m - 1)) * static_cast<float>(m - 1);
-  return ag::mul_scalar(tr, 1.0f / denom);
+  const float inv_denom =
+      1.0f / (static_cast<float>(m - 1) * static_cast<float>(m - 1));
+  // Fused forward (same path as the plain overload) with a closed-form
+  // backward: d tr((H Kx H) Ky^T)/d Kx = H Ky H and symmetrically for Ky,
+  // both assembled from row/column/grand sums — the explicit H matrix and the
+  // two O(m^3) centering matmuls of the old graph are gone from both passes.
+  GramSums sx = gram_sums(kx.value());
+  GramSums sy = gram_sums(ky.value());
+  const float tr = static_cast<float>(
+      centered_trace(kx.value(), ky.value(), sx, sy) * inv_denom);
+  // The closure keeps the forward's sums (2m doubles each) so backward never
+  // re-sweeps the Gram matrices it already summed.
+  return ag::make_op(
+      Tensor::scalar(tr), {kx, ky},
+      [inv_denom, sx = std::move(sx), sy = std::move(sy)](ag::Node& n) {
+        const float g = n.grad.item() * inv_denom;
+        if (n.parents[0]->requires_grad) {
+          n.parents[0]->accumulate(centered_scaled(n.parents[1]->value, sy, g));
+        }
+        if (n.parents[1]->requires_grad) {
+          n.parents[1]->accumulate(centered_scaled(n.parents[0]->value, sx, g));
+        }
+      });
 }
 
 float hsic_gaussian(const Tensor& x, const Tensor& y, float sigma_x,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "runtime/parallel_for.hpp"
+#include "tensor/matmul.hpp"
 #include "tensor/reduce.hpp"
 
 namespace ibrar::mi {
@@ -27,18 +29,43 @@ float scaled_sigma(std::int64_t feature_dim, float mult) {
 }
 
 Tensor gram_gaussian(const Tensor& x, float sigma) {
-  const Tensor d = pairwise_sq_dists(x);
+  // G = X X^T through the symmetric blocked GEMM (upper-triangle blocks into
+  // arena tiles, mirrored), then one fused pass turns G into the kernel
+  // matrix without materializing the distance matrix. The exp() calls
+  // dominate Gram assembly for minibatch-sized m, so the fused pass also
+  // exploits symmetry: each (i, j >= i) entry is evaluated once and mirrored,
+  // halving the exp count of the dense sweep.
+  const Tensor g = matmul_nt_sym(x);
+  const auto m = g.dim(0);
   const float scale = -1.0f / (2.0f * sigma * sigma);
-  Tensor k(d.shape());
-  const auto pd = d.data();
-  auto pk = k.data();
-  // The m^2 exp() calls dominate Gram assembly for minibatch-sized m.
+  Tensor k(g.shape());
+  std::vector<float> diag(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) diag[static_cast<std::size_t>(i)] = g.at(i, i);
+  const float* pg = g.data().data();
+  float* pk = k.data().data();
+  // Work item u owns the row pair (u, m-1-u): the long tail of row u plus the
+  // short tail of its mirror row sum to m+1 exp calls per item, so equal
+  // contiguous chunks carry equal work (a plain row split would hand the
+  // first lane ~2x the exp count of the last). Each row writes its own tail
+  // (i, j >= i) plus column i of rows j > i; all row indices across items are
+  // distinct, so writes stay race-free and every element's value is
+  // independent of the partition.
+  auto fill_row = [&](std::int64_t i) {
+    const float ri = diag[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i; j < m; ++j) {
+      const float d = std::max(
+          ri + diag[static_cast<std::size_t>(j)] - 2.0f * pg[i * m + j], 0.0f);
+      const float v = std::exp(d * scale);
+      pk[i * m + j] = v;
+      pk[j * m + i] = v;
+    }
+  };
   runtime::parallel_for(
-      0, static_cast<std::int64_t>(pd.size()), runtime::kElementwiseGrain / 8,
-      [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const auto u = static_cast<std::size_t>(i);
-          pk[u] = std::exp(pd[u] * scale);
+      0, (m + 1) / 2, runtime::grain_for(16 * m),
+      [&](std::int64_t u0, std::int64_t u1) {
+        for (std::int64_t u = u0; u < u1; ++u) {
+          fill_row(u);
+          if (m - 1 - u != u) fill_row(m - 1 - u);
         }
       });
   return k;

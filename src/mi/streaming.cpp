@@ -1,0 +1,59 @@
+#include "mi/streaming.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ibrar::mi {
+namespace {
+
+/// Contiguous row slice [begin, end) of a 2-D tensor (one block copy).
+Tensor row_slice(const Tensor& t, std::int64_t begin, std::int64_t end) {
+  const auto d = t.dim(1);
+  Tensor out({end - begin, d});
+  std::memcpy(out.data().data(), t.data().data() + begin * d,
+              sizeof(float) * static_cast<std::size_t>((end - begin) * d));
+  return out;
+}
+
+}  // namespace
+
+void StreamingHsic::add(const Tensor& x, const Tensor& y) {
+  if (x.rank() != 2 || y.rank() != 2 || x.dim(0) != y.dim(0)) {
+    throw std::invalid_argument(
+        "StreamingHsic::add: chunks must be 2-D with matching row counts");
+  }
+  const auto c = x.dim(0);
+  if (c < 2) {
+    throw std::invalid_argument("StreamingHsic::add: chunk needs >= 2 rows");
+  }
+  const double h = hsic_gaussian(x, y, sigma_x_, sigma_y_);
+  weighted_ += h * static_cast<double>(c);
+  samples_ += c;
+  ++chunks_;
+}
+
+double hsic_gaussian_chunked(const Tensor& x, const Tensor& y,
+                             std::int64_t chunk, float sigma_x, float sigma_y) {
+  if (x.rank() != 2 || y.rank() != 2 || x.dim(0) != y.dim(0)) {
+    throw std::invalid_argument(
+        "hsic_gaussian_chunked: inputs must be 2-D with matching row counts");
+  }
+  const auto n = x.dim(0);
+  if (chunk <= 0 || chunk >= n) {
+    return hsic_gaussian(x, y, sigma_x, sigma_y);
+  }
+  // Fixed bandwidths across chunks: per-chunk defaults would re-derive the
+  // same scaled_sigma(d) anyway, but resolving them once makes that explicit.
+  const float sx = sigma_x > 0 ? sigma_x : scaled_sigma(x.dim(1));
+  const float sy = sigma_y > 0 ? sigma_y : scaled_sigma(y.dim(1));
+  StreamingHsic acc(sx, sy);
+  for (std::int64_t b = 0; b < n; b += chunk) {
+    const std::int64_t e = std::min(n, b + chunk);
+    if (e - b < 2) break;  // a trailing single row carries no pair information
+    acc.add(row_slice(x, b, e), row_slice(y, b, e));
+  }
+  return acc.value();
+}
+
+}  // namespace ibrar::mi

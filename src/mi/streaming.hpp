@@ -1,0 +1,50 @@
+#pragma once
+// Streaming / minibatch MI estimation: analysis over the full test set
+// without one giant Gram matrix.
+//
+// HSIC is O(chunk^2) memory and O(chunk^2 * d) compute per chunk. Each
+// chunk's biased estimator targets the same population HSIC, so the
+// sample-weighted average over chunks converges like a minibatch estimate —
+// and a single chunk spanning the whole sample reproduces hsic_gaussian
+// exactly (tests/test_mi_properties.cpp pins both facts).
+
+#include <cstdint>
+
+#include "mi/hsic.hpp"
+
+namespace ibrar::mi {
+
+/// Accumulates Gaussian-kernel HSIC over row chunks of two paired sample
+/// streams (same chunk sizes on both sides).
+class StreamingHsic {
+ public:
+  /// Bandwidths <= 0 fall back to scaled_sigma(feature dim) per side —
+  /// constant across chunks, so chunking never changes the kernel.
+  explicit StreamingHsic(float sigma_x = -1.0f, float sigma_y = -1.0f)
+      : sigma_x_(sigma_x), sigma_y_(sigma_y) {}
+
+  /// One chunk: x is (c, dx), y is (c, dy) with matching row counts.
+  void add(const Tensor& x, const Tensor& y);
+
+  /// Sample-weighted mean of the per-chunk HSIC values (0 before any chunk).
+  double value() const { return samples_ > 0 ? weighted_ / samples_ : 0.0; }
+
+  std::int64_t samples() const { return samples_; }
+  std::int64_t chunks() const { return chunks_; }
+
+ private:
+  float sigma_x_;
+  float sigma_y_;
+  double weighted_ = 0.0;
+  std::int64_t samples_ = 0;
+  std::int64_t chunks_ = 0;
+};
+
+/// Convenience: chunked HSIC over full row matrices — feeds [0,chunk),
+/// [chunk,2*chunk), ... through a StreamingHsic. chunk <= 0 or >= rows is
+/// exactly hsic_gaussian.
+double hsic_gaussian_chunked(const Tensor& x, const Tensor& y,
+                             std::int64_t chunk, float sigma_x = -1.0f,
+                             float sigma_y = -1.0f);
+
+}  // namespace ibrar::mi

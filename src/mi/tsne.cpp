@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/random.hpp"
 #include "tensor/reduce.hpp"
 
@@ -59,17 +60,22 @@ Tensor tsne(const Tensor& x, const TSNEConfig& cfg) {
 
   const Tensor d2 = pairwise_sq_dists(x);
 
-  // Symmetrized joint affinities P.
+  // Symmetrized joint affinities P. The per-row binary search is embarrassingly
+  // parallel: each row block owns its scratch buffer and writes only its rows.
   std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
   {
-    std::vector<double> row(static_cast<std::size_t>(n));
     const double perp = std::min(cfg.perplexity, static_cast<double>(n - 1) / 3.0);
-    for (std::int64_t i = 0; i < n; ++i) {
-      row_affinities(d2, i, perp, row);
-      for (std::int64_t j = 0; j < n; ++j) {
-        p[static_cast<std::size_t>(i * n + j)] = row[static_cast<std::size_t>(j)];
-      }
-    }
+    runtime::parallel_for(
+        0, n, runtime::grain_for(64 * n), [&](std::int64_t i0, std::int64_t i1) {
+          std::vector<double> row(static_cast<std::size_t>(n));
+          for (std::int64_t i = i0; i < i1; ++i) {
+            row_affinities(d2, i, perp, row);
+            for (std::int64_t j = 0; j < n; ++j) {
+              p[static_cast<std::size_t>(i * n + j)] =
+                  row[static_cast<std::size_t>(j)];
+            }
+          }
+        });
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t j = i + 1; j < n; ++j) {
         const double s = (p[static_cast<std::size_t>(i * n + j)] +
@@ -86,49 +92,74 @@ Tensor tsne(const Tensor& x, const TSNEConfig& cfg) {
   Tensor y = randn({n, 2}, rng, 0.0f, 1e-2f);
   Tensor vel({n, 2});
 
+  // Jacobi-style gradient descent: every iteration computes Q and all point
+  // gradients from the same Y snapshot, then applies the updates. (The seed
+  // loop updated points in place mid-sweep, Gauss-Seidel style, which cannot
+  // be split across lanes; the snapshot form parallelizes and is
+  // thread-count-deterministic — q_sum reduces over fixed-grain chunks in
+  // ascending order, and each point's gradient reads only the snapshot.)
   std::vector<double> q(static_cast<std::size_t>(n * n));
+  std::vector<double> grad(static_cast<std::size_t>(n * 2));
+  const std::int64_t grain = runtime::grain_for(8 * n);
   for (std::int64_t iter = 0; iter < cfg.iterations; ++iter) {
     const double exag = iter < cfg.exaggeration_iters ? cfg.early_exaggeration : 1.0;
 
-    // Student-t affinities Q.
-    double q_sum = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) {
-        if (i == j) {
-          q[static_cast<std::size_t>(i * n + j)] = 0.0;
-          continue;
-        }
-        const double dy0 = y.at(i, 0) - y.at(j, 0);
-        const double dy1 = y.at(i, 1) - y.at(j, 1);
-        const double t = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
-        q[static_cast<std::size_t>(i * n + j)] = t;
-        q_sum += t;
-      }
-    }
+    // Student-t affinities Q (row-blocked; each block writes its own rows and
+    // returns its partial sum, combined in ascending chunk order).
+    const double q_sum = runtime::parallel_reduce(
+        std::int64_t{0}, n, grain, 0.0,
+        [&](std::int64_t i0, std::int64_t i1) {
+          double acc = 0.0;
+          for (std::int64_t i = i0; i < i1; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+              if (i == j) {
+                q[static_cast<std::size_t>(i * n + j)] = 0.0;
+                continue;
+              }
+              const double dy0 = y.at(i, 0) - y.at(j, 0);
+              const double dy1 = y.at(i, 1) - y.at(j, 1);
+              const double t = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+              q[static_cast<std::size_t>(i * n + j)] = t;
+              acc += t;
+            }
+          }
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
 
-    for (std::int64_t i = 0; i < n; ++i) {
-      double g0 = 0.0, g1 = 0.0;
-      for (std::int64_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double t = q[static_cast<std::size_t>(i * n + j)];
-        const double qij = std::max(t / q_sum, 1e-12);
-        const double coeff =
-            4.0 * (exag * p[static_cast<std::size_t>(i * n + j)] - qij) * t;
-        g0 += coeff * (y.at(i, 0) - y.at(j, 0));
-        g1 += coeff * (y.at(i, 1) - y.at(j, 1));
+    runtime::parallel_for(0, n, grain, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        double g0 = 0.0, g1 = 0.0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double t = q[static_cast<std::size_t>(i * n + j)];
+          const double qij = std::max(t / q_sum, 1e-12);
+          const double coeff =
+              4.0 * (exag * p[static_cast<std::size_t>(i * n + j)] - qij) * t;
+          g0 += coeff * (y.at(i, 0) - y.at(j, 0));
+          g1 += coeff * (y.at(i, 1) - y.at(j, 1));
+        }
+        grad[static_cast<std::size_t>(2 * i)] = g0;
+        grad[static_cast<std::size_t>(2 * i + 1)] = g1;
       }
-      vel.at(i, 0) = static_cast<float>(cfg.momentum * vel.at(i, 0) -
-                                        cfg.learning_rate * g0);
-      vel.at(i, 1) = static_cast<float>(cfg.momentum * vel.at(i, 1) -
-                                        cfg.learning_rate * g1);
-      // Clamp per-step displacement: with early exaggeration the gradient can
-      // momentarily explode and a single unbounded step destroys the layout.
-      const float step_cap = 25.0f;
-      vel.at(i, 0) = std::min(std::max(vel.at(i, 0), -step_cap), step_cap);
-      vel.at(i, 1) = std::min(std::max(vel.at(i, 1), -step_cap), step_cap);
-      y.at(i, 0) += vel.at(i, 0);
-      y.at(i, 1) += vel.at(i, 1);
-    }
+    });
+
+    runtime::parallel_for(0, n, grain, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t c = 0; c < 2; ++c) {
+          float v = static_cast<float>(
+              cfg.momentum * vel.at(i, c) -
+              cfg.learning_rate * grad[static_cast<std::size_t>(2 * i + c)]);
+          // Clamp per-step displacement: with early exaggeration the gradient
+          // can momentarily explode and a single unbounded step destroys the
+          // layout.
+          const float step_cap = 25.0f;
+          v = std::min(std::max(v, -step_cap), step_cap);
+          vel.at(i, c) = v;
+          y.at(i, c) += v;
+        }
+      }
+    });
   }
   return y;
 }
@@ -142,37 +173,55 @@ ClusterMetrics cluster_metrics(const Tensor& points,
   }
   const Tensor d2 = pairwise_sq_dists(points);
 
+  struct Partial {
+    double intra_sum = 0.0, inter_sum = 0.0, sil_sum = 0.0;
+    std::int64_t intra_n = 0, inter_n = 0;
+  };
+  const Partial acc = runtime::parallel_reduce(
+      std::int64_t{0}, n, runtime::grain_for(8 * n), Partial{},
+      [&](std::int64_t i0, std::int64_t i1) {
+        Partial part;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          double a_sum = 0.0, b_sum = 0.0;
+          std::int64_t a_n = 0, b_n = 0;
+          for (std::int64_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            const double d = std::sqrt(std::max(0.0f, d2.at(i, j)));
+            if (labels[static_cast<std::size_t>(i)] ==
+                labels[static_cast<std::size_t>(j)]) {
+              a_sum += d;
+              ++a_n;
+            } else {
+              b_sum += d;
+              ++b_n;
+            }
+          }
+          part.intra_sum += a_sum;
+          part.intra_n += a_n;
+          part.inter_sum += b_sum;
+          part.inter_n += b_n;
+          if (a_n > 0 && b_n > 0) {
+            const double a = a_sum / a_n;
+            const double b = b_sum / b_n;
+            part.sil_sum += (b - a) / std::max(a, b);
+          }
+        }
+        return part;
+      },
+      [](Partial a, Partial b) {
+        a.intra_sum += b.intra_sum;
+        a.inter_sum += b.inter_sum;
+        a.sil_sum += b.sil_sum;
+        a.intra_n += b.intra_n;
+        a.inter_n += b.inter_n;
+        return a;
+      });
+
   ClusterMetrics m;
-  double intra_sum = 0.0, inter_sum = 0.0, sil_sum = 0.0;
-  std::int64_t intra_n = 0, inter_n = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    double a_sum = 0.0, b_sum = 0.0;
-    std::int64_t a_n = 0, b_n = 0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const double d = std::sqrt(std::max(0.0f, d2.at(i, j)));
-      if (labels[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(j)]) {
-        a_sum += d;
-        ++a_n;
-      } else {
-        b_sum += d;
-        ++b_n;
-      }
-    }
-    intra_sum += a_sum;
-    intra_n += a_n;
-    inter_sum += b_sum;
-    inter_n += b_n;
-    if (a_n > 0 && b_n > 0) {
-      const double a = a_sum / a_n;
-      const double b = b_sum / b_n;
-      sil_sum += (b - a) / std::max(a, b);
-    }
-  }
-  m.mean_intra = intra_n > 0 ? intra_sum / intra_n : 0.0;
-  m.mean_inter = inter_n > 0 ? inter_sum / inter_n : 0.0;
+  m.mean_intra = acc.intra_n > 0 ? acc.intra_sum / acc.intra_n : 0.0;
+  m.mean_inter = acc.inter_n > 0 ? acc.inter_sum / acc.inter_n : 0.0;
   m.separation_ratio = m.mean_intra > 1e-12 ? m.mean_inter / m.mean_intra : 0.0;
-  m.silhouette = sil_sum / static_cast<double>(n);
+  m.silhouette = acc.sil_sum / static_cast<double>(n);
   return m;
 }
 

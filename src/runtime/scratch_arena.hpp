@@ -28,20 +28,24 @@ class ScratchArena {
   ScratchArena& operator=(const ScratchArena&) = delete;
 
   /// Aligned buffer of at least `floats` elements, valid until the next
-  /// resize of the same slot. Slot 0 and slot 1 are independent (a kernel can
-  /// hold an A-panel and a B-panel simultaneously).
+  /// resize of the same slot. Slots are independent so nested kernels can
+  /// coexist: the packed GEMM owns slot 0 (A panels) and slot 1 (packed B),
+  /// and the symmetric Gram driver (tensor/matmul.cpp) holds its C block in
+  /// slot 2 across the gemm_packed call it makes into slots 0/1.
   float* floats(std::size_t slot, std::size_t floats);
 
-  /// High-water mark in bytes across both slots (for tests/telemetry).
-  std::size_t capacity_bytes() const { return bytes_[0] + bytes_[1]; }
+  /// High-water mark in bytes across all slots (for tests/telemetry).
+  std::size_t capacity_bytes() const {
+    return bytes_[0] + bytes_[1] + bytes_[2];
+  }
 
  private:
   struct AlignedFree {
     void operator()(float* p) const { ::operator delete[](p, std::align_val_t{kScratchAlign}); }
   };
-  static constexpr std::size_t kSlots = 2;
+  static constexpr std::size_t kSlots = 3;
   std::unique_ptr<float[], AlignedFree> buf_[kSlots];
-  std::size_t bytes_[kSlots] = {0, 0};
+  std::size_t bytes_[kSlots] = {0, 0, 0};
 };
 
 /// The calling thread's arena (thread_local; one per pool lane plus one for

@@ -20,6 +20,15 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor matmul_tn(const Tensor& a, const Tensor& b);  ///< A^T * B, A is (k,m)
 Tensor matmul_nt(const Tensor& a, const Tensor& b);  ///< A * B^T, B is (n,k)
 
+/// C = A * A^T (m, m) — the row Gram matrix behind every pairwise-distance
+/// and Gaussian-kernel computation in src/mi. Only the upper-triangle row
+/// blocks are computed (each through the packed kernel, into a per-lane
+/// scratch-arena tile) and mirrored, so it does ~half the FLOPs of
+/// matmul_nt(a, a) while staying bit-identical to it: element (i, j) runs the
+/// same ascending-p fma chain either way, and (j, i) multiplies the same
+/// pairs in the same order (float multiplication commutes bitwise).
+Tensor matmul_nt_sym(const Tensor& a);
+
 /// Raw kernel: c[m,n] += a[m,k] * b[k,n] (row-major, preallocated).
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n);

@@ -1,0 +1,278 @@
+// Property/invariant sweep for the rebuilt MI core: the symmetric blocked
+// Gram driver, the fused-centering HSIC (plain + differentiable), CKA, and
+// the streaming estimators. Complements tests/test_mi.cpp, which covers the
+// estimators' statistical behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "autograd/gradcheck.hpp"
+#include "mi/binned_mi.hpp"
+#include "mi/hsic.hpp"
+#include "mi/streaming.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ibrar::mi {
+namespace {
+
+/// O(n^2 d) reference Gram: per-pair distance accumulated in double.
+Tensor naive_gram_gaussian(const Tensor& x, float sigma) {
+  const auto n = x.dim(0);
+  const auto d = x.dim(1);
+  const float scale = -1.0f / (2.0f * sigma * sigma);
+  Tensor k({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t t = 0; t < d; ++t) {
+        const double diff = static_cast<double>(x.at(i, t)) - x.at(j, t);
+        s += diff * diff;
+      }
+      k.at(i, j) = std::exp(static_cast<float>(s) * scale);
+    }
+  }
+  return k;
+}
+
+/// Reference HSIC with an explicit H and double-precision trace.
+double explicit_center_hsic(const Tensor& kx, const Tensor& ky) {
+  const auto m = kx.dim(0);
+  std::vector<double> h(static_cast<std::size_t>(m * m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      h[static_cast<std::size_t>(i * m + j)] =
+          (i == j ? 1.0 : 0.0) - 1.0 / static_cast<double>(m);
+    }
+  }
+  std::vector<double> hk(static_cast<std::size_t>(m * m), 0.0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < m; ++p) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        hk[static_cast<std::size_t>(i * m + j)] +=
+            h[static_cast<std::size_t>(i * m + p)] * kx.at(p, j);
+      }
+    }
+  }
+  std::vector<double> hkh(static_cast<std::size_t>(m * m), 0.0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < m; ++p) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        hkh[static_cast<std::size_t>(i * m + j)] +=
+            hk[static_cast<std::size_t>(i * m + p)] *
+            h[static_cast<std::size_t>(p * m + j)];
+      }
+    }
+  }
+  double tr = 0.0;
+  for (std::int64_t i = 0; i < m * m; ++i) {
+    tr += hkh[static_cast<std::size_t>(i)] * ky[i];
+  }
+  return tr / (static_cast<double>(m - 1) * static_cast<double>(m - 1));
+}
+
+TEST(MatmulNtSym, BitIdenticalToMatmulNtAtRaggedSizes) {
+  const std::int64_t shapes[][2] = {{1, 3},   {2, 1},   {3, 5},    {5, 17},
+                                    {17, 33}, {33, 64}, {64, 130}, {127, 63},
+                                    {129, 257}, {200, 40}};
+  for (const auto& s : shapes) {
+    Rng rng(static_cast<std::uint64_t>(s[0] * 131 + s[1]));
+    const Tensor x = randn({s[0], s[1]}, rng);
+    const Tensor ref = matmul_nt(x, x);
+    const Tensor sym = matmul_nt_sym(x);
+    ASSERT_TRUE(ref.same_shape(sym));
+    EXPECT_EQ(std::memcmp(ref.data().data(), sym.data().data(),
+                          sizeof(float) * static_cast<std::size_t>(ref.numel())),
+              0)
+        << "shape " << s[0] << "x" << s[1];
+  }
+}
+
+TEST(MatmulNtSym, ThreadCountBitIdentical) {
+  Rng rng(7);
+  const Tensor x = randn({150, 70}, rng);
+  runtime::set_num_threads(1);
+  const Tensor one = matmul_nt_sym(x);
+  runtime::set_num_threads(4);
+  const Tensor four = matmul_nt_sym(x);
+  runtime::set_num_threads(0);  // restore auto
+  EXPECT_EQ(std::memcmp(one.data().data(), four.data().data(),
+                        sizeof(float) * static_cast<std::size_t>(one.numel())),
+            0);
+}
+
+TEST(GramBlocked, MatchesNaiveReferenceAtRaggedSizes) {
+  const std::int64_t shapes[][2] = {{2, 1},  {3, 7},   {5, 64},
+                                    {33, 9}, {65, 33}, {130, 257}};
+  for (const auto& s : shapes) {
+    Rng rng(static_cast<std::uint64_t>(s[0] * 17 + s[1]));
+    const Tensor x = randn({s[0], s[1]}, rng);
+    const float sigma = scaled_sigma(s[1]);
+    const Tensor ref = naive_gram_gaussian(x, sigma);
+    const Tensor got = gram_gaussian(x, sigma);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      EXPECT_NEAR(got[i], ref[i], 1e-4f) << "shape " << s[0] << "x" << s[1]
+                                         << " elem " << i;
+    }
+  }
+}
+
+TEST(GramBlocked, ThreadCountBitIdentical) {
+  Rng rng(9);
+  const Tensor x = randn({170, 90}, rng);
+  runtime::set_num_threads(1);
+  const Tensor one = gram_gaussian(x, 5.0f);
+  runtime::set_num_threads(4);
+  const Tensor four = gram_gaussian(x, 5.0f);
+  runtime::set_num_threads(0);
+  EXPECT_EQ(std::memcmp(one.data().data(), four.data().data(),
+                        sizeof(float) * static_cast<std::size_t>(one.numel())),
+            0);
+}
+
+TEST(HsicFused, MatchesExplicitCenterReference) {
+  Rng rng(11);
+  for (const std::int64_t m : {2, 3, 17, 60}) {
+    const Tensor x = randn({m, 6}, rng);
+    const Tensor y = randn({m, 4}, rng);
+    const Tensor kx = gram_gaussian(x, 2.0f);
+    const Tensor ky = gram_gaussian(y, 2.0f);
+    const double ref = explicit_center_hsic(kx, ky);
+    const float got = hsic(kx, ky);
+    EXPECT_NEAR(got, ref, std::max(1e-4 * std::fabs(ref), 1e-7)) << "m=" << m;
+  }
+}
+
+TEST(HsicFused, SymmetricInArguments) {
+  Rng rng(12);
+  const Tensor kx = gram_gaussian(randn({40, 3}, rng), 2.0f);
+  const Tensor ky = gram_gaussian(randn({40, 5}, rng), 2.0f);
+  EXPECT_NEAR(hsic(kx, ky), hsic(ky, kx), 1e-7);
+}
+
+TEST(HsicFused, ShiftInvarianceOfGaussianKernel) {
+  // The Gaussian kernel sees only pairwise distances, so a constant feature
+  // shift must not move HSIC (beyond float rounding in the Gram identity).
+  Rng rng(13);
+  const Tensor x = randn({60, 8}, rng);
+  const Tensor y = randn({60, 5}, rng);
+  Tensor x_shift = x;
+  for (std::int64_t i = 0; i < x_shift.numel(); ++i) x_shift[i] += 3.0f;
+  const float base = hsic_gaussian(x, y, 2.0f, 2.0f);
+  const float shifted = hsic_gaussian(x_shift, y, 2.0f, 2.0f);
+  EXPECT_NEAR(shifted, base, std::max(1e-4f * std::fabs(base), 1e-7f));
+}
+
+TEST(HsicFused, GradcheckOnGramInputs) {
+  // The closed-form backward (g * H K H from row/col/grand sums) against
+  // numeric differentiation, perturbing Gram entries directly (including
+  // asymmetric perturbations — the formula never assumes symmetry).
+  Rng rng(14);
+  const Tensor kx = gram_gaussian(randn({7, 3}, rng), 1.0f);
+  const Tensor ky = gram_gaussian(randn({7, 2}, rng), 1.0f);
+  auto fn = [&](const std::vector<ag::Var>& in) {
+    return hsic(in[0], in[1]);
+  };
+  const auto r =
+      ag::gradcheck(fn, {ag::Var::param(kx), ag::Var::param(ky)}, 1e-3, 5e-2);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+}
+
+TEST(Cka, BoundsAndSelfSimilarity) {
+  Rng rng(15);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tensor x = randn({25, 4}, rng);
+    const Tensor y = randn({25, 6}, rng);
+    const float c = cka(x, y);
+    EXPECT_GE(c, -1e-4f);
+    EXPECT_LE(c, 1.0f + 1e-4f);
+    EXPECT_NEAR(cka(x, x), 1.0f, 1e-4f);
+  }
+}
+
+TEST(StreamingHsic, SingleChunkEqualsBatch) {
+  Rng rng(16);
+  const Tensor x = randn({48, 6}, rng);
+  const Tensor y = randn({48, 3}, rng);
+  StreamingHsic acc(2.0f, 2.0f);
+  acc.add(x, y);
+  EXPECT_EQ(acc.chunks(), 1);
+  EXPECT_EQ(acc.samples(), 48);
+  EXPECT_FLOAT_EQ(static_cast<float>(acc.value()),
+                  hsic_gaussian(x, y, 2.0f, 2.0f));
+  EXPECT_FLOAT_EQ(static_cast<float>(hsic_gaussian_chunked(x, y, 0, 2.0f, 2.0f)),
+                  hsic_gaussian(x, y, 2.0f, 2.0f));
+}
+
+TEST(StreamingHsic, ChunkedAgreesWithBatchOnDependentData) {
+  // Chunked and batch are both biased estimators of the same population
+  // quantity; on strongly dependent iid rows they must land close.
+  Rng rng(17);
+  const std::int64_t n = 240;
+  const Tensor x = randn({n, 8}, rng);
+  Tensor y({n, 8});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) y.at(i, j) = 0.5f * x.at(i, j);
+  }
+  const double batch = hsic_gaussian(x, y, 3.0f, 3.0f);
+  const double chunked = hsic_gaussian_chunked(x, y, 60, 3.0f, 3.0f);
+  ASSERT_GT(batch, 0.0);
+  EXPECT_NEAR(chunked, batch, 0.5 * batch);
+}
+
+TEST(StreamingHsic, RejectsBadChunks) {
+  Rng rng(18);
+  StreamingHsic acc;
+  EXPECT_THROW(acc.add(randn({4, 2}, rng), randn({5, 2}, rng)),
+               std::invalid_argument);
+  EXPECT_THROW(acc.add(randn({1, 2}, rng), randn({1, 2}, rng)),
+               std::invalid_argument);
+  EXPECT_EQ(acc.value(), 0.0);
+}
+
+TEST(StreamingBinnedMi, ChunkedIsExactlyBatchWithPinnedRange) {
+  Rng rng(19);
+  const std::int64_t n = 90;
+  const Tensor t = rand_uniform({n, 3}, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) labels[static_cast<std::size_t>(i)] = i % 4;
+  const auto batch = binned_mi(t, labels, 4, 12, 0.0f, 1.0f);
+
+  StreamingBinnedMi acc(4, 12, 0.0f, 1.0f);
+  // Ragged chunking: 90 = 31 + 31 + 28.
+  for (std::int64_t b = 0; b < n; b += 31) {
+    const std::int64_t e = std::min<std::int64_t>(n, b + 31);
+    Tensor chunk({e - b, 3});
+    std::vector<std::int64_t> chunk_labels;
+    for (std::int64_t i = b; i < e; ++i) {
+      for (std::int64_t j = 0; j < 3; ++j) chunk.at(i - b, j) = t.at(i, j);
+      chunk_labels.push_back(labels[static_cast<std::size_t>(i)]);
+    }
+    acc.add(chunk, chunk_labels);
+  }
+  const auto streamed = acc.value();
+  EXPECT_DOUBLE_EQ(streamed.i_xt, batch.i_xt);
+  EXPECT_DOUBLE_EQ(streamed.i_ty, batch.i_ty);
+  EXPECT_EQ(acc.samples(), n);
+}
+
+TEST(StreamingBinnedMi, AutoRangeOverloadUnchanged) {
+  // The two-arg batch form must keep its empirical-range behavior.
+  const std::int64_t n = 32;
+  Tensor t({n, 1});
+  std::vector<std::int64_t> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = i % 2;
+    t.at(i, 0) = static_cast<float>(i % 2);
+  }
+  const auto p = binned_mi(t, y, 2, 10);
+  EXPECT_NEAR(p.i_xt, 1.0, 1e-6);
+  EXPECT_NEAR(p.i_ty, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ibrar::mi

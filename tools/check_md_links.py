@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (CI: docs-link-check job).
+
+Checks the given markdown files (default: the curated docs — README.md,
+ROADMAP.md, CHANGES.md, ISSUE.md, docs/*.md; PAPERS.md/SNIPPETS.md are
+retrieval dumps with PDF-extraction artifacts and are deliberately out of
+scope). Extracts inline links and fails if a local target (file or
+file#anchor) does not exist. External http(s)/mailto links are not fetched —
+CI must not depend on network reachability.
+
+Usage: tools/check_md_links.py [file.md ...]
+"""
+import glob
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    a = heading.strip().lower()
+    a = re.sub(r"[`*_(),./:'\"+?!&\[\]{}=—§·]", "", a)
+    a = re.sub(r"\s+", "-", a)
+    return a
+
+
+def anchors_in(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    return {anchor_of(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(md: str) -> list:
+    errors = []
+    base = os.path.dirname(md)
+    with open(md, encoding="utf-8") as f:
+        text = f.read()
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, frag = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, path)) if path else md
+        if not os.path.exists(resolved):
+            errors.append(f"{md}: broken link -> {target}")
+            continue
+        if frag and resolved.endswith(".md"):
+            if anchor_of(frag) not in anchors_in(resolved):
+                errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    files = argv[1:]
+    if not files:
+        files = [f for f in ("README.md", "ROADMAP.md", "CHANGES.md",
+                             "ISSUE.md", "PAPER.md")
+                 if os.path.exists(f)]
+        files.extend(glob.glob("docs/*.md"))
+    errors = []
+    for md in sorted(files):
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown files, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
