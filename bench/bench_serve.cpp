@@ -1,0 +1,355 @@
+// bench_serve — closed-loop load generator for the inference serving runtime.
+//
+// Sweeps offered load (concurrent closed-loop clients) x batch deadline over
+// the dynamic micro-batching server and A/Bs it against batch=1 serial
+// serving, recording throughput and p50/p99 latency per configuration plus
+// two hard gates:
+//
+//   * bit-identity: every request's logits through the batched server are
+//     memcmp-equal to the batch=1 server's logits for the same input (the
+//     determinism contract of serve/batcher.hpp);
+//   * backpressure contract: under a flood into a tiny queue, rejects carry
+//     kRejectedQueueFull, every accepted request is served, and
+//     accepted + rejected == offered.
+//
+// Either gate failing exits nonzero (this is the bench_serve_smoke CTest
+// target in --smoke mode). Argmax accuracy over a labeled test set is
+// recorded for both modes; bit-identity makes them equal by construction,
+// and the gate checks it anyway.
+//
+// JSON rows (ibrar-bench-v1, default BENCH_pr5.json / IBRAR_BENCH_OUT):
+//   kernel "serve/serial|batched|telemetry", shape "clients=..,deadline_us=..,
+//   max_batch=..", ns_per_op = mean ns/request, checksum = p99 ms,
+//   speedup_vs_naive = throughput vs the serial row, bit_identical = gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "models/mlp.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+
+using namespace ibrar;
+using namespace ibrar::bench;
+
+namespace {
+
+struct LoadResult {
+  double seconds = 0.0;
+  double throughput = 0.0;   ///< requests / s
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double accuracy = 0.0;     ///< argmax == label over the served set
+  std::uint64_t max_batch_observed = 0;
+};
+
+/// Drive `clients` closed-loop client threads over the staged rows: client c
+/// owns requests c, c+clients, c+2*clients, ... and submits its next request
+/// the moment the previous reply lands. Optionally collects each request's
+/// logits into `logits_out` for the bit-identity gate.
+LoadResult run_closed_loop(serve::Server& server, const data::Dataset& ds,
+                           const std::vector<Tensor>& rows,
+                           std::int64_t total_requests, std::int64_t clients,
+                           std::vector<Tensor>* logits_out = nullptr) {
+  const std::int64_t n = static_cast<std::int64_t>(rows.size());
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(clients), 0);
+  std::vector<std::uint64_t> served(static_cast<std::size_t>(clients), 0);
+  if (logits_out != nullptr) {
+    logits_out->assign(static_cast<std::size_t>(total_requests), Tensor());
+  }
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (std::int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::int64_t r = c; r < total_requests; r += clients) {
+        const std::int64_t row = r % n;
+        Stopwatch sw;
+        auto reply =
+            server.submit(rows[static_cast<std::size_t>(row)]).get();
+        lat[static_cast<std::size_t>(c)].push_back(sw.seconds() * 1e3);
+        if (!reply.ok()) continue;  // rejects are counted by server stats
+        ++served[static_cast<std::size_t>(c)];
+        if (reply.argmax == ds.labels[static_cast<std::size_t>(row)]) {
+          ++correct[static_cast<std::size_t>(c)];
+        }
+        if (logits_out != nullptr) {
+          (*logits_out)[static_cast<std::size_t>(r)] = std::move(reply.logits);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadResult res;
+  res.seconds = wall.seconds();
+  std::vector<double> all;
+  std::uint64_t ok = 0;
+  std::int64_t hits = 0;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    const auto& l = lat[static_cast<std::size_t>(c)];
+    all.insert(all.end(), l.begin(), l.end());
+    ok += served[static_cast<std::size_t>(c)];
+    hits += correct[static_cast<std::size_t>(c)];
+  }
+  res.throughput = static_cast<double>(total_requests) / res.seconds;
+  res.p50_ms = percentile(all, 0.50);
+  res.p99_ms = percentile(all, 0.99);
+  res.accuracy = ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok)
+                        : 0.0;
+  res.max_batch_observed = server.stats().max_batch_observed;
+  return res;
+}
+
+void add_row(JsonReporter& rep, const std::string& kernel,
+             const std::string& shape, const LoadResult& r, double speedup,
+             bool bit_identical) {
+  BenchRecord rec;
+  rec.kernel = kernel;
+  rec.shape = shape;
+  rec.ns_per_op = 1e9 / r.throughput;  // mean ns per request end-to-end
+  rec.gflops = 0.0;
+  rec.threads = runtime::num_threads();
+  rec.checksum = r.p99_ms;             // headline latency metric
+  rec.speedup_vs_naive = speedup;
+  rec.bit_identical = bit_identical;
+  rep.add(rec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  print_header(smoke ? "bench_serve --smoke: contract gates, tiny load"
+                     : "bench_serve: micro-batching A/B + load sweep");
+
+  JsonReporter reporter(
+      env::get_string("IBRAR_BENCH_OUT",
+                      smoke ? "BENCH_smoke_serve.json" : "BENCH_pr5.json"));
+
+  // Untrained-but-published weights are fine for a serving perf A/B; accuracy
+  // equality between modes is what matters, not its absolute level. Smoke
+  // keeps everything tiny so the CTest target runs in seconds.
+  const std::int64_t test_size = smoke ? 64 : 256;
+  const std::int64_t total = smoke ? 128 : 1024;
+  const auto data = data::make_dataset("synth-cifar10", /*train=*/8, test_size);
+  const auto rows = stage_rows(data.test);
+  const Shape chw = {data.test.channels(), data.test.height(),
+                     data.test.width()};
+
+  // Two models under test: the dense classifier tier (a 256-wide MLP head,
+  // where micro-batching converts per-request weight streaming into cached
+  // reuse — the canonical batching win) and the full MiniVGG conv stack
+  // (compute-linear per row on one core, so batching buys mostly overhead
+  // amortization there; both are reported so the record shows where the win
+  // comes from).
+  struct ModelUnderTest {
+    std::string label;
+    models::TapClassifierPtr model;
+  };
+  std::vector<ModelUnderTest> models_under_test;
+  {
+    Rng rng(42);
+    models::MLPConfig mcfg;
+    mcfg.in_features = chw[0] * chw[1] * chw[2];
+    mcfg.hidden = {256, 256};
+    mcfg.num_classes = data.test.num_classes;
+    models_under_test.push_back(
+        {"mlp256", std::make_shared<models::MLP>(mcfg, rng)});
+  }
+  if (!smoke) {
+    Rng rng(43);
+    models::ModelSpec spec;
+    spec.name = "vgg16";
+    spec.num_classes = data.test.num_classes;
+    spec.image_size = chw[1];
+    spec.in_channels = chw[0];
+    models_under_test.push_back({"vgg16", models::make_model(spec, rng)});
+  }
+
+  struct SweepPoint {
+    std::int64_t clients;
+    std::int64_t max_batch;
+    std::int64_t deadline_us;
+  };
+  const std::vector<SweepPoint> sweep =
+      smoke ? std::vector<SweepPoint>{{4, 4, 2000}}
+            : std::vector<SweepPoint>{{4, 4, 500},
+                                      {4, 4, 2000},
+                                      {8, 8, 2000},
+                                      {16, 16, 2000},
+                                      {32, 32, 4000}};
+
+  int failures = 0;
+  double headline_speedup = 0.0;
+  serve::ModelRegistry telemetry_registry;  // reuses the first model
+
+  for (auto& mut : models_under_test) {
+    serve::ModelRegistry registry;
+    registry.publish(mut.model, chw, mut.label);
+    if (&mut == &models_under_test.front()) {
+      telemetry_registry.publish(mut.model, chw, mut.label);
+    }
+
+    // ---- batch=1 serial baseline ------------------------------------------
+    serve::ServeConfig serial_cfg;
+    serial_cfg.max_batch = 1;
+    serial_cfg.deadline_us = 0;
+    serial_cfg.queue_capacity = 2048;
+    std::vector<Tensor> serial_logits;
+    LoadResult serial;
+    {
+      serve::Server server(registry, serial_cfg);
+      serial = run_closed_loop(server, data.test, rows, total, /*clients=*/1,
+                               &serial_logits);
+    }
+    std::printf("  %-7s serial batch=1                             : %9.1f "
+                "req/s  p50 %6.2f ms  p99 %6.2f ms  acc %.3f\n",
+                mut.label.c_str(), serial.throughput, serial.p50_ms,
+                serial.p99_ms, serial.accuracy);
+    add_row(reporter, "serve/" + mut.label + "/serial", "clients=1,max_batch=1",
+            serial, 1.0, true);
+
+    // ---- dynamic micro-batching sweep: clients x deadline ------------------
+    for (const auto& pt : sweep) {
+      serve::ServeConfig cfg;
+      cfg.max_batch = pt.max_batch;
+      cfg.deadline_us = pt.deadline_us;
+      cfg.queue_capacity = 2048;
+      std::vector<Tensor> logits;
+      LoadResult r;
+      {
+        serve::Server server(registry, cfg);
+        r = run_closed_loop(server, data.test, rows, total, pt.clients,
+                            &logits);
+      }
+      // Bit-identity gate: every request must match the serial run exactly.
+      bool bits_ok = logits.size() == serial_logits.size();
+      for (std::size_t i = 0; bits_ok && i < logits.size(); ++i) {
+        bits_ok = tensor_bits_equal(logits[i], serial_logits[i]);
+      }
+      const double speedup = r.throughput / serial.throughput;
+      headline_speedup = std::max(headline_speedup, speedup);
+      const std::string shape = "clients=" + std::to_string(pt.clients) +
+                                ",max_batch=" + std::to_string(pt.max_batch) +
+                                ",deadline_us=" +
+                                std::to_string(pt.deadline_us);
+      std::printf("  %-7s batched %-34s: %9.1f req/s  p50 %6.2f ms  p99 %6.2f "
+                  "ms  acc %.3f  maxB %2llu  speedup %5.2fx  bits %s\n",
+                  mut.label.c_str(), shape.c_str(), r.throughput, r.p50_ms,
+                  r.p99_ms, r.accuracy,
+                  static_cast<unsigned long long>(r.max_batch_observed),
+                  speedup, bits_ok ? "OK" : "MISMATCH");
+      add_row(reporter, "serve/" + mut.label + "/batched", shape, r, speedup,
+              bits_ok);
+      if (!bits_ok) {
+        std::fprintf(stderr, "FAIL: %s batched logits differ from batch=1 "
+                     "(%s)\n", mut.label.c_str(), shape.c_str());
+        ++failures;
+      }
+      if (r.accuracy != serial.accuracy) {
+        std::fprintf(stderr,
+                     "FAIL: %s batched accuracy %.4f != serial %.4f (%s)\n",
+                     mut.label.c_str(), r.accuracy, serial.accuracy,
+                     shape.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  // ---- telemetry overhead row ----------------------------------------------
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.deadline_us = 2000;
+    cfg.queue_capacity = 2048;
+    cfg.telemetry.sample_every = 8;
+    cfg.telemetry.window = 16;
+    serve::Server server(telemetry_registry, cfg);
+    const auto r = run_closed_loop(server, data.test, rows, total,
+                                   /*clients=*/8);
+    const auto stats = server.stats();
+    std::printf("  telemetry every 8th : %9.1f req/s  p99 %6.2f ms  sampled "
+                "%llu  epochs %llu\n",
+                r.throughput, r.p99_ms,
+                static_cast<unsigned long long>(stats.telemetry_samples),
+                static_cast<unsigned long long>(server.monitor().score_epoch()));
+    add_row(reporter, "serve/telemetry",
+            "clients=8,max_batch=8,deadline_us=2000,every=8", r, 0.0, true);
+    if (stats.telemetry_samples == 0) {
+      std::fprintf(stderr, "FAIL: telemetry sampled nothing at every=8\n");
+      ++failures;
+    }
+  }
+
+  // ---- backpressure contract under flood -----------------------------------
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 4;
+    cfg.deadline_us = 1000;
+    cfg.queue_capacity = 8;
+    serve::Server server(telemetry_registry, cfg);
+    const std::int64_t flood = smoke ? 64 : 256;
+    const Tensor& x = rows.front();
+    std::vector<std::future<serve::Reply>> futures;
+    futures.reserve(static_cast<std::size_t>(flood));
+    for (std::int64_t i = 0; i < flood; ++i) {
+      futures.push_back(server.submit(x));
+    }
+    std::uint64_t ok = 0, rej = 0, other = 0;
+    for (auto& f : futures) {
+      const auto r = f.get();
+      if (r.status == serve::ReplyStatus::kOk) ++ok;
+      else if (r.status == serve::ReplyStatus::kRejectedQueueFull) ++rej;
+      else ++other;
+    }
+    const auto stats = server.stats();
+    const bool contract_ok = other == 0 &&
+                             ok + rej == static_cast<std::uint64_t>(flood) &&
+                             stats.accepted == ok &&
+                             stats.rejected_full == rej && stats.served == ok;
+    std::printf("  backpressure flood   : offered %lld  served %llu  rejected "
+                "%llu  contract %s\n",
+                static_cast<long long>(flood),
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(rej),
+                contract_ok ? "OK" : "VIOLATED");
+    BenchRecord rec;
+    rec.kernel = "serve/backpressure";
+    rec.shape = "flood=" + std::to_string(flood) + ",queue_cap=8";
+    rec.checksum = static_cast<double>(rej);
+    rec.threads = runtime::num_threads();
+    rec.bit_identical = contract_ok;
+    reporter.add(rec);
+    if (!contract_ok) {
+      std::fprintf(stderr, "FAIL: backpressure contract violated\n");
+      ++failures;
+    }
+  }
+
+  reporter.write();
+  if (!smoke && headline_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "WARN: best batched speedup %.2fx is below the 3x target\n",
+                 headline_speedup);
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_serve: %d gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("bench_serve: all gates passed (best speedup %.2fx)\n",
+              headline_speedup);
+  return 0;
+}

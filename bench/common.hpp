@@ -5,6 +5,7 @@
 // numbers. Scales come from the IBRAR_PROFILE env switch (quick | paper) with
 // per-knob overrides (IBRAR_TRAIN_SIZE, IBRAR_EPOCHS, ...); see src/util/env.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -213,6 +214,31 @@ inline std::vector<AttackResults> run_attack_table(
   table.print();
   std::printf("\n");
   return measured;
+}
+
+// ---- serving-load helpers (bench_serve + ibrar_serve) -----------------------
+
+/// q-quantile (0 <= q <= 1) of a latency sample in milliseconds; sorts in
+/// place (nearest-rank with rounding, the convention both serving drivers
+/// report p50/p99 under).
+inline double percentile(std::vector<double>& ms, double q) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(ms.size() - 1) + 0.5);
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+/// Per-sample (C, H, W) request tensors, staged once so serving load loops
+/// measure the server rather than dataset slicing.
+inline std::vector<Tensor> stage_rows(const data::Dataset& ds) {
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<std::size_t>(ds.size()));
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    rows.push_back(data::make_batch(ds, i, i + 1)
+                       .x.reshape({ds.channels(), ds.height(), ds.width()}));
+  }
+  return rows;
 }
 
 }  // namespace ibrar::bench

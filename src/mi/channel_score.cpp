@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mi/hsic.hpp"
+#include "runtime/parallel_for.hpp"
 #include "tensor/ops.hpp"
 
 namespace ibrar::mi {
@@ -20,20 +21,31 @@ std::vector<float> channel_label_scores(const Tensor& features,
   const std::int64_t spatial =
       features.rank() == 4 ? features.dim(2) * features.dim(3) : 1;
 
+  // The label Gram is shared across channels; each channel then builds its
+  // own Gram and HSIC score independently. That per-channel loop is
+  // embarrassingly parallel, so it fans out over pool lanes: every lane owns
+  // one gather buffer reused across the channels it draws, and the nested
+  // kernels (median_sigma, gram_gaussian -> matmul_nt_sym -> gemm_packed)
+  // run serially inline inside the region — the exact instruction sequence a
+  // 1-lane run performs per channel — so scores are bit-identical at any
+  // thread count. This is what keeps the serving telemetry's windowed
+  // re-scoring affordable on a live worker.
   const Tensor y = one_hot(labels, num_classes);
   const Tensor ky = gram_gaussian(y, scaled_sigma(num_classes, 1.0f));
 
   std::vector<float> scores(static_cast<std::size_t>(c));
-  Tensor fc({n, spatial});
-  for (std::int64_t ic = 0; ic < c; ++ic) {
-    const float* pf = features.data().data();
-    for (std::int64_t i = 0; i < n; ++i) {
-      std::copy_n(pf + (i * c + ic) * spatial, spatial,
-                  fc.data().data() + i * spatial);
+  const float* pf = features.data().data();
+  runtime::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    Tensor fc({n, spatial});
+    for (std::int64_t ic = c0; ic < c1; ++ic) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        std::copy_n(pf + (i * c + ic) * spatial, spatial,
+                    fc.data().data() + i * spatial);
+      }
+      const float sigma = std::max(median_sigma(fc), 1e-3f);
+      scores[static_cast<std::size_t>(ic)] = hsic(gram_gaussian(fc, sigma), ky);
     }
-    const float sigma = std::max(median_sigma(fc), 1e-3f);
-    scores[static_cast<std::size_t>(ic)] = hsic(gram_gaussian(fc, sigma), ky);
-  }
+  });
   return scores;
 }
 

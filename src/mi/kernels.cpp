@@ -7,10 +7,23 @@
 #include "runtime/parallel_for.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/reduce.hpp"
+#include "util/rng.hpp"
 
 namespace ibrar::mi {
 
-float median_sigma(const Tensor& x) {
+namespace {
+
+/// sigma from a collection of squared distances (shared tail of both paths).
+float sigma_from_sq_dists(std::vector<float>& vals) {
+  if (vals.empty()) return 1.0f;
+  std::nth_element(vals.begin(), vals.begin() + vals.size() / 2, vals.end());
+  const float med = vals[vals.size() / 2];
+  return std::sqrt(std::max(med / 2.0f, 1e-6f));
+}
+
+}  // namespace
+
+float median_sigma_exact(const Tensor& x) {
   const Tensor d = pairwise_sq_dists(x);
   std::vector<float> vals;
   const auto m = d.dim(0);
@@ -18,10 +31,38 @@ float median_sigma(const Tensor& x) {
   for (std::int64_t i = 0; i < m; ++i) {
     for (std::int64_t j = i + 1; j < m; ++j) vals.push_back(d.at(i, j));
   }
-  if (vals.empty()) return 1.0f;
-  std::nth_element(vals.begin(), vals.begin() + vals.size() / 2, vals.end());
-  const float med = vals[vals.size() / 2];
-  return std::sqrt(std::max(med / 2.0f, 1e-6f));
+  return sigma_from_sq_dists(vals);
+}
+
+float median_sigma(const Tensor& x) {
+  const auto m = x.dim(0);
+  const std::int64_t pairs = m * (m - 1) / 2;
+  if (pairs <= kMedianSigmaExactPairs) return median_sigma_exact(x);
+
+  // Sampled median: draw a fixed-seed subsample of distinct-index pairs and
+  // compute each squared distance directly from the rows — O(S*d) work and
+  // O(S) memory, never the (m, m) matrix. The seed folds in m so the sample
+  // is a pure function of the input shape: same data -> same sigma, and the
+  // estimate is reproducible across runs and thread counts.
+  const auto d = x.numel() / m;
+  const float* px = x.data().data();
+  Rng rng(0x5ed5u ^ static_cast<std::uint64_t>(m) * 0x9e3779b97f4a7c15ull);
+  std::vector<float> vals;
+  vals.reserve(static_cast<std::size_t>(kMedianSigmaSamplePairs));
+  while (static_cast<std::int64_t>(vals.size()) < kMedianSigmaSamplePairs) {
+    const std::int64_t i = rng.randint(0, m - 1);
+    const std::int64_t j = rng.randint(0, m - 1);
+    if (i == j) continue;
+    const float* ri = px + i * d;
+    const float* rj = px + j * d;
+    float acc = 0.0f;
+    for (std::int64_t t = 0; t < d; ++t) {
+      const float diff = ri[t] - rj[t];
+      acc += diff * diff;
+    }
+    vals.push_back(acc);
+  }
+  return sigma_from_sq_dists(vals);
 }
 
 float scaled_sigma(std::int64_t feature_dim, float mult) {

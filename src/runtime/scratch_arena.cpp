@@ -2,17 +2,18 @@
 
 namespace ibrar::runtime {
 
-float* ScratchArena::floats(std::size_t slot, std::size_t floats) {
+float* ScratchArena::floats(Scratch slot, std::size_t floats) {
+  const auto s = static_cast<std::size_t>(slot);
   const std::size_t want = floats * sizeof(float);
-  if (bytes_[slot] < want) {
+  if (bytes_[s] < want) {
     // Grow geometrically so alternating shapes don't reallocate every call.
-    std::size_t cap = bytes_[slot] == 0 ? 4096 : bytes_[slot];
+    std::size_t cap = bytes_[s] == 0 ? 4096 : bytes_[s];
     while (cap < want) cap *= 2;
-    buf_[slot].reset(static_cast<float*>(
+    buf_[s].reset(static_cast<float*>(
         ::operator new[](cap, std::align_val_t{kScratchAlign})));
-    bytes_[slot] = cap;
+    bytes_[s] = cap;
   }
-  return buf_[slot].get();
+  return buf_[s].get();
 }
 
 ScratchArena& lane_arena() {

@@ -21,31 +21,46 @@ namespace ibrar::runtime {
 
 inline constexpr std::size_t kScratchAlign = 64;
 
+/// Named arena slots. Slots are independent buffers, so kernels that nest can
+/// coexist as long as each holds a distinct handle: the packed GEMM owns
+/// kGemmPackA/kGemmPackB, the symmetric Gram driver (tensor/matmul.cpp) holds
+/// its C block in kSymGramTile across the gemm_packed call it makes into the
+/// pack slots, and the serving telemetry (serve/telemetry.cpp) keeps its
+/// per-channel statistics in kServeTelemetry across the channel-score kernels
+/// it invokes (which bottom out in the same GEMM slots). Adding a consumer =
+/// adding an enumerator; the arena sizes itself from kCount.
+enum class Scratch : std::size_t {
+  kGemmPackA = 0,   ///< A panels, per lane (tensor/gemm_packed.cpp)
+  kGemmPackB,       ///< shared packed B (tensor/gemm_packed.cpp)
+  kSymGramTile,     ///< C block of matmul_nt_sym, held across gemm_packed
+  kServeTelemetry,  ///< per-channel energies, held across channel scoring
+  kCount,
+};
+
 class ScratchArena {
  public:
   ScratchArena() = default;
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
 
-  /// Aligned buffer of at least `floats` elements, valid until the next
-  /// resize of the same slot. Slots are independent so nested kernels can
-  /// coexist: the packed GEMM owns slot 0 (A panels) and slot 1 (packed B),
-  /// and the symmetric Gram driver (tensor/matmul.cpp) holds its C block in
-  /// slot 2 across the gemm_packed call it makes into slots 0/1.
-  float* floats(std::size_t slot, std::size_t floats);
+  /// Aligned buffer of at least `floats` elements in `slot`, valid until the
+  /// next resize of the same slot.
+  float* floats(Scratch slot, std::size_t floats);
 
   /// High-water mark in bytes across all slots (for tests/telemetry).
   std::size_t capacity_bytes() const {
-    return bytes_[0] + bytes_[1] + bytes_[2];
+    std::size_t total = 0;
+    for (const auto b : bytes_) total += b;
+    return total;
   }
 
  private:
   struct AlignedFree {
     void operator()(float* p) const { ::operator delete[](p, std::align_val_t{kScratchAlign}); }
   };
-  static constexpr std::size_t kSlots = 3;
+  static constexpr std::size_t kSlots = static_cast<std::size_t>(Scratch::kCount);
   std::unique_ptr<float[], AlignedFree> buf_[kSlots];
-  std::size_t bytes_[kSlots] = {0, 0, 0};
+  std::size_t bytes_[kSlots] = {};
 };
 
 /// The calling thread's arena (thread_local; one per pool lane plus one for

@@ -1,0 +1,39 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ibrar::serve {
+
+Batcher::Batcher(RequestQueue& queue, std::int64_t max_batch,
+                 std::int64_t deadline_us)
+    : queue_(queue),
+      max_batch_(std::max<std::int64_t>(max_batch, 1)),
+      deadline_us_(std::max<std::int64_t>(deadline_us, 0)) {}
+
+bool Batcher::next(MicroBatch& out) {
+  out.requests.clear();
+  Request first;
+  if (queue_.pop(first) == PopStatus::kClosed) return false;
+  out.requests.push_back(std::move(first));
+
+  // The deadline is anchored on the FIRST request of the batch: a request
+  // waits at most deadline_us for co-riders, however sparse the traffic.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(deadline_us_);
+  out.trigger = BatchTrigger::kSize;
+  while (out.size() < max_batch_) {
+    Request r;
+    const PopStatus st = queue_.pop_until(r, deadline);
+    if (st == PopStatus::kItem) {
+      out.requests.push_back(std::move(r));
+    } else {
+      out.trigger = st == PopStatus::kClosed ? BatchTrigger::kDrain
+                                             : BatchTrigger::kDeadline;
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace ibrar::serve

@@ -1,0 +1,52 @@
+#include "serve/model_registry.hpp"
+
+#include <stdexcept>
+
+#include "nn/module.hpp"
+
+namespace ibrar::serve {
+
+std::uint64_t ModelRegistry::publish(models::TapClassifierPtr model,
+                                     Shape input_shape, std::string tag) {
+  if (!model) throw std::invalid_argument("ModelRegistry::publish: null model");
+  if (input_shape.size() != 3) {
+    throw std::invalid_argument(
+        "ModelRegistry::publish: input_shape must be (C, H, W), got " +
+        shape_str(input_shape));
+  }
+  model->set_training(false);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->model = std::move(model);
+  snap->version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  snap->tag = std::move(tag);
+  snap->input_shape = std::move(input_shape);
+  snap->num_classes = snap->model->num_classes();
+  current_.store(std::shared_ptr<const ModelSnapshot>(std::move(snap)),
+                 std::memory_order_release);
+  return version();
+}
+
+std::uint64_t ModelRegistry::publish_checkpoint(const models::ModelSpec& spec,
+                                                const std::string& path,
+                                                std::string tag) {
+  // Build + load happen entirely off to the side; the swap at the end is the
+  // only point the serving path can observe. A throw here (missing file,
+  // architecture mismatch) leaves the previous version serving.
+  Rng rng(0);  // init weights are fully overwritten by the checkpoint
+  auto model = models::make_model(spec, rng);
+  nn::load_model(*model, path);
+  return publish(std::move(model),
+                 {spec.in_channels, spec.image_size, spec.image_size},
+                 tag.empty() ? path : std::move(tag));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ModelRegistry::version() const {
+  const auto snap = current();
+  return snap ? snap->version : 0;
+}
+
+}  // namespace ibrar::serve

@@ -1,0 +1,62 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace ibrar::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+PushStatus RequestQueue::push(Request& r) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return PushStatus::kClosed;
+    if (items_.size() >= capacity_) return PushStatus::kFull;
+    r.index = admitted_++;
+    items_.push_back(std::move(r));
+  }
+  cv_.notify_one();
+  return PushStatus::kAccepted;
+}
+
+PopStatus RequestQueue::pop(Request& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return PopStatus::kClosed;
+  out = std::move(items_.front());
+  items_.pop_front();
+  return PopStatus::kItem;
+}
+
+PopStatus RequestQueue::pop_until(
+    Request& out, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!cv_.wait_until(lk, deadline,
+                      [&] { return !items_.empty() || closed_; })) {
+    return PopStatus::kTimeout;
+  }
+  if (items_.empty()) return PopStatus::kClosed;
+  out = std::move(items_.front());
+  items_.pop_front();
+  return PopStatus::kItem;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+}  // namespace ibrar::serve

@@ -1,0 +1,87 @@
+#pragma once
+// Bounded MPSC admission queue: the front door of the serving runtime.
+//
+// Producers (client threads calling Server::submit) push under a mutex;
+// the single consumer side (the batcher on a worker thread) pops with plain
+// and deadline-bounded waits. Admission control is non-blocking by design:
+// a full queue rejects immediately (PushStatus::kFull) instead of stalling
+// the caller — the server turns that into a reject-with-status reply, which
+// is the backpressure contract load generators and upstreams can key off.
+//
+// Shutdown is graceful: close() stops admission but already-accepted
+// requests remain poppable, so the consumer drains the queue to empty before
+// pop reports kClosed. This mirrors the dispatcher skeleton of long-lived
+// servers like nfs-ganesha and cups: reject at the door under overload,
+// never drop work already admitted.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "serve/reply.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ibrar::serve {
+
+/// One queued inference request.
+struct Request {
+  Tensor input;                 ///< (C, H, W), layout fixed by the snapshot
+  std::promise<Reply> promise;  ///< fulfilled by the worker (or at rejection)
+  std::int64_t enqueue_ns = 0;  ///< steady-clock stamp at admission
+  std::uint64_t index = 0;      ///< admission sequence number (telemetry cadence)
+};
+
+enum class PushStatus {
+  kAccepted = 0,
+  kFull,    ///< at capacity; request NOT consumed
+  kClosed,  ///< queue closed; request NOT consumed
+};
+
+enum class PopStatus {
+  kItem = 0,
+  kTimeout,  ///< deadline passed with no item (queue still open)
+  kClosed,   ///< closed AND drained empty — the consumer can exit
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Non-blocking admission. Moves from `r` ONLY when kAccepted is returned,
+  /// so on rejection the caller still owns the promise and can fail it.
+  /// On acceptance `r.index` is assigned here, under the queue lock, so
+  /// indices form a gap-free admission sequence (rejected submissions never
+  /// consume one — the telemetry cadence counts admitted traffic only).
+  PushStatus push(Request& r);
+
+  /// Block until an item arrives (kItem) or the queue is closed and empty
+  /// (kClosed).
+  PopStatus pop(Request& out);
+
+  /// Like pop, but gives up at `deadline` (kTimeout). Used by the batcher's
+  /// deadline trigger.
+  PopStatus pop_until(Request& out,
+                      std::chrono::steady_clock::time_point deadline);
+
+  /// Stop admission; wakes all waiting poppers. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> items_;
+  std::uint64_t admitted_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ibrar::serve

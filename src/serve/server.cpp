@@ -1,0 +1,246 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "analysis/capture.hpp"
+#include "autograd/var.hpp"
+#include "tensor/reduce.hpp"
+#include "util/env.hpp"
+
+namespace ibrar::serve {
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void bump_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig cfg;
+  cfg.max_batch = env::get_int("IBRAR_SERVE_MAX_BATCH", 8);
+  cfg.deadline_us = env::get_int("IBRAR_SERVE_DEADLINE_US", 2000);
+  cfg.queue_capacity = env::get_int("IBRAR_SERVE_QUEUE_CAP", 256);
+  return cfg;
+}
+
+Server::Server(ModelRegistry& registry, ServeConfig cfg)
+    : registry_(registry),
+      cfg_([&] {
+        cfg.max_batch = std::max<std::int64_t>(cfg.max_batch, 1);
+        cfg.deadline_us = std::max<std::int64_t>(cfg.deadline_us, 0);
+        cfg.queue_capacity = std::max<std::int64_t>(cfg.queue_capacity, 1);
+        cfg.workers = std::max<std::int64_t>(cfg.workers, 1);
+        return cfg;
+      }()),
+      queue_(static_cast<std::size_t>(cfg_.queue_capacity)),
+      monitor_(cfg_.telemetry) {
+  if (!registry_.current()) {
+    throw std::invalid_argument(
+        "serve::Server: registry has no published model");
+  }
+  if (cfg_.workers > 1 && monitor_.enabled()) {
+    // The telemetry capture path toggles the shared snapshot's train/eval
+    // flag (analysis::capture_taps' mode guard), which races a concurrent
+    // worker's forward. Until snapshots grow a const-forward path (see
+    // ROADMAP), the combination is rejected rather than silently unsafe.
+    throw std::invalid_argument(
+        "serve::Server: telemetry requires workers == 1 (the capture path "
+        "is not safe against concurrent forwards on the shared snapshot)");
+  }
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (std::int64_t w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  if (stopped_.exchange(true)) {
+    return;  // a second caller must not re-join the workers
+  }
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<Reply> Server::submit(Tensor input) {
+  const auto snap = registry_.current();
+  // Accept (C, H, W) or (1, C, H, W); anything else is a caller bug, not
+  // load, so it throws instead of consuming queue capacity.
+  Shape per_sample = input.shape();
+  if (per_sample.size() == 4 && per_sample[0] == 1) {
+    per_sample.erase(per_sample.begin());
+    input = input.reshape(per_sample);
+  }
+  if (per_sample != snap->input_shape) {
+    throw std::invalid_argument("serve::Server::submit: input shape " +
+                                shape_str(input.shape()) +
+                                " does not match the published model's " +
+                                shape_str(snap->input_shape));
+  }
+
+  Request r;
+  r.input = std::move(input);
+  r.enqueue_ns = now_ns();
+  // r.index is assigned by the queue on admission, so the telemetry cadence
+  // is over accepted traffic (rejections never consume a sequence number).
+  std::future<Reply> fut = r.promise.get_future();
+
+  switch (queue_.push(r)) {
+    case PushStatus::kAccepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushStatus::kFull: {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      Reply reply;
+      reply.status = ReplyStatus::kRejectedQueueFull;
+      reply.model_version = snap->version;
+      r.promise.set_value(std::move(reply));
+      break;
+    }
+    case PushStatus::kClosed: {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      Reply reply;
+      reply.status = ReplyStatus::kRejectedShutdown;
+      reply.model_version = snap->version;
+      r.promise.set_value(std::move(reply));
+      break;
+    }
+  }
+  return fut;
+}
+
+void Server::worker_loop() {
+  // Serving never builds autograd graphs; the guard is thread_local, so each
+  // worker sets its own.
+  ag::NoGradGuard ng;
+  Batcher batcher(queue_, cfg_.max_batch, cfg_.deadline_us);
+  MicroBatch batch;
+  while (batcher.next(batch)) {
+    serve_batch(batch);
+  }
+}
+
+void Server::serve_batch(MicroBatch& batch) {
+  // The snapshot is pinned for exactly this batch: a concurrent publish swaps
+  // the registry pointer but cannot unload the model under us.
+  const auto snap = registry_.current();
+  const auto& chw = snap->input_shape;
+
+  // Requests were shape-validated at submit time against the snapshot live
+  // THEN; a hot-swap to a different input layout can leave stale rows in the
+  // queue. They must not reach the memcpy below (reading `row` floats from a
+  // smaller tensor would run off its heap buffer), so they are failed here
+  // with their own status and the batch proceeds with the matching rows.
+  std::vector<Request> live;
+  live.reserve(batch.requests.size());
+  for (auto& req : batch.requests) {
+    if (req.input.shape() == chw) {
+      live.push_back(std::move(req));
+    } else {
+      Reply reply;
+      reply.status = ReplyStatus::kRejectedStaleShape;
+      reply.model_version = snap->version;
+      rejected_stale_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(std::move(reply));
+    }
+  }
+  if (live.empty()) return;
+  const std::int64_t bsz = static_cast<std::int64_t>(live.size());
+  const std::int64_t row = chw[0] * chw[1] * chw[2];
+
+  const std::int64_t t0 = now_ns();
+  Tensor x({bsz, chw[0], chw[1], chw[2]});
+  for (std::int64_t i = 0; i < bsz; ++i) {
+    std::memcpy(x.data().data() + i * row,
+                live[static_cast<std::size_t>(i)].input.data().data(),
+                sizeof(float) * static_cast<std::size_t>(row));
+  }
+  const Tensor logits = snap->model->forward(ag::Var::constant(x)).value();
+  const std::int64_t compute_ns = now_ns() - t0;
+  const auto preds = argmax_rows(logits);
+  const std::int64_t nc = logits.dim(1);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  served_.fetch_add(static_cast<std::uint64_t>(bsz),
+                    std::memory_order_relaxed);
+  bump_max(max_batch_observed_, static_cast<std::uint64_t>(bsz));
+  switch (batch.trigger) {
+    case BatchTrigger::kSize:
+      size_triggers_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case BatchTrigger::kDeadline:
+      deadline_triggers_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case BatchTrigger::kDrain:
+      drain_triggers_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+
+  for (std::int64_t i = 0; i < bsz; ++i) {
+    Request& req = live[static_cast<std::size_t>(i)];
+    Reply reply;
+    reply.status = ReplyStatus::kOk;
+    reply.logits = Tensor({nc});
+    std::memcpy(reply.logits.data().data(), logits.data().data() + i * nc,
+                sizeof(float) * static_cast<std::size_t>(nc));
+    reply.argmax = preds[static_cast<std::size_t>(i)];
+    reply.model_version = snap->version;
+    reply.queue_ns = t0 - req.enqueue_ns;
+    reply.compute_ns = compute_ns;
+    reply.batch_size = bsz;
+    reply.trigger = batch.trigger;
+
+    if (monitor_.should_sample(req.index)) {
+      // Tap capture rides the shared analysis sweep on a one-row dataset:
+      // one extra forward per Kth request, amortized away by the cadence.
+      data::Dataset one;
+      one.images = req.input.reshape({1, chw[0], chw[1], chw[2]});
+      one.labels = {0};
+      one.num_classes = snap->num_classes;
+      const auto dump = analysis::capture_taps(
+          *snap->model, one, /*max_samples=*/-1, /*batch=*/1,
+          {snap->model->last_conv_tap_index()});
+      const std::int64_t channels = snap->model->last_conv_channels();
+      const std::int64_t width = dump.taps[0].dim(1);
+      reply.telemetry =
+          monitor_.observe(dump.taps[0].data().data(), channels,
+                           width / channels, reply.argmax, snap->num_classes);
+      telemetry_samples_.fetch_add(1, std::memory_order_relaxed);
+    }
+    req.promise.set_value(std::move(reply));
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.rejected_stale = rejected_stale_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.size_triggers = size_triggers_.load(std::memory_order_relaxed);
+  s.deadline_triggers = deadline_triggers_.load(std::memory_order_relaxed);
+  s.drain_triggers = drain_triggers_.load(std::memory_order_relaxed);
+  s.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
+  s.telemetry_samples = telemetry_samples_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ibrar::serve

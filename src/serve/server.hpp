@@ -1,0 +1,111 @@
+#pragma once
+// The inference serving façade: queue -> batcher -> worker -> futures.
+//
+// Server turns the run-to-completion library into an always-on runtime:
+// clients submit single samples and get std::future<Reply>; a bounded MPSC
+// queue applies admission control (reject-with-status under overload); a
+// worker thread assembles dynamic micro-batches under the dual
+// size-or-deadline trigger so one packed-GEMM forward amortizes across
+// concurrent requests; the versioned ModelRegistry supplies an immutable
+// snapshot per batch, so checkpoints hot-swap under live traffic while
+// in-flight batches finish on the version they grabbed. Every Kth request
+// optionally flows through the robustness telemetry (serve/telemetry.hpp).
+//
+// Environment knobs (defaults in ServeConfig::from_env):
+//   IBRAR_SERVE_MAX_BATCH    micro-batch row cap            (default 8)
+//   IBRAR_SERVE_DEADLINE_US  batch assembly deadline, us    (default 2000)
+//   IBRAR_SERVE_QUEUE_CAP    admission queue capacity       (default 256)
+//
+// Shutdown is graceful: shutdown() (or the destructor) closes the queue, the
+// worker drains every already-accepted request, then exits. Submissions after
+// shutdown complete immediately with kRejectedShutdown.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/telemetry.hpp"
+
+namespace ibrar::serve {
+
+struct ServeConfig {
+  std::int64_t max_batch = 8;
+  std::int64_t deadline_us = 2000;
+  std::int64_t queue_capacity = 256;
+  /// Worker threads running batch forwards. The default single worker is the
+  /// right choice on this stack: compute parallelism comes from the thread
+  /// pool inside the tensor kernels, not from concurrent forwards.
+  std::int64_t workers = 1;
+  TelemetryConfig telemetry;  ///< telemetry.sample_every == 0 -> off
+
+  /// Defaults overridden by IBRAR_SERVE_MAX_BATCH / _DEADLINE_US / _QUEUE_CAP.
+  static ServeConfig from_env();
+};
+
+/// Monotonic counters, readable at any time (approximate under concurrency).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_stale = 0;  ///< queued before an input-shape hot-swap
+  std::uint64_t served = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t size_triggers = 0;
+  std::uint64_t deadline_triggers = 0;
+  std::uint64_t drain_triggers = 0;
+  std::uint64_t max_batch_observed = 0;
+  std::uint64_t telemetry_samples = 0;
+};
+
+class Server {
+ public:
+  /// The registry must already have a published version; throws otherwise.
+  Server(ModelRegistry& registry, ServeConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one sample — (C, H, W) matching the current snapshot's input
+  /// shape (a leading batch dim of 1 is accepted and squeezed). Returns a
+  /// future that resolves to the reply; under backpressure or shutdown the
+  /// future is already resolved with the rejection status. Throws
+  /// std::invalid_argument for a shape the current model cannot take.
+  std::future<Reply> submit(Tensor input);
+
+  /// Stop admission, drain accepted requests, join workers. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServeConfig& config() const { return cfg_; }
+  RobustnessMonitor& monitor() { return monitor_; }
+
+ private:
+  void worker_loop();
+  void serve_batch(MicroBatch& batch);
+
+  ModelRegistry& registry_;
+  ServeConfig cfg_;
+  RequestQueue queue_;
+  RobustnessMonitor monitor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> rejected_stale_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> size_triggers_{0};
+  std::atomic<std::uint64_t> deadline_triggers_{0};
+  std::atomic<std::uint64_t> drain_triggers_{0};
+  std::atomic<std::uint64_t> max_batch_observed_{0};
+  std::atomic<std::uint64_t> telemetry_samples_{0};
+};
+
+}  // namespace ibrar::serve

@@ -1,0 +1,115 @@
+#include "serve/telemetry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mi/channel_score.hpp"
+#include "runtime/scratch_arena.hpp"
+
+namespace ibrar::serve {
+
+RobustnessMonitor::RobustnessMonitor(TelemetryConfig cfg) : cfg_(cfg) {
+  if (cfg_.sample_every < 0) {
+    throw std::invalid_argument("RobustnessMonitor: sample_every must be >= 0");
+  }
+  cfg_.window = std::max<std::int64_t>(cfg_.window, 2);
+  cfg_.suspicious_fraction =
+      std::clamp(cfg_.suspicious_fraction, 0.01f, 0.99f);
+}
+
+RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
+                                            std::int64_t channels,
+                                            std::int64_t spatial,
+                                            std::int64_t pred,
+                                            std::int64_t num_classes) {
+  RequestTelemetry out;
+  out.sampled = true;
+  const std::int64_t width = channels * spatial;
+
+  // Per-channel activation energy of THIS request, staged in the arena's
+  // telemetry slot. The handle is distinct from the GEMM pack slots and the
+  // sym-Gram tile, so the buffer stays valid across the nested channel-score
+  // kernels the window refresh below runs on this same thread.
+  float* energy = runtime::lane_arena().floats(
+      runtime::Scratch::kServeTelemetry, static_cast<std::size_t>(channels));
+  float total = 0.0f;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float acc = 0.0f;
+    const float* row = tap_row + c * spatial;
+    for (std::int64_t s = 0; s < spatial; ++s) acc += row[s] * row[s];
+    energy[c] = acc;
+    total += acc;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (channels_ == 0) {
+    channels_ = channels;
+    spatial_ = spatial;
+    window_taps_.resize(
+        static_cast<std::size_t>(cfg_.window) * static_cast<std::size_t>(width));
+    window_preds_.resize(static_cast<std::size_t>(cfg_.window));
+  } else if (channels != channels_ || spatial != spatial_) {
+    // A hot-swap changed the tap geometry: restart the window for the new
+    // architecture (old scores are meaningless for it).
+    channels_ = channels;
+    spatial_ = spatial;
+    fill_ = 0;
+    scores_.clear();
+    suspicious_mask_ = Tensor({0});
+    window_taps_.assign(
+        static_cast<std::size_t>(cfg_.window) * static_cast<std::size_t>(width),
+        0.0f);
+    window_preds_.assign(static_cast<std::size_t>(cfg_.window), 0);
+  }
+
+  std::copy_n(tap_row, width,
+              window_taps_.data() + fill_ * width);
+  window_preds_[static_cast<std::size_t>(fill_)] = pred;
+  ++fill_;
+  ++samples_;
+
+  if (fill_ == cfg_.window) {
+    // Window full: refresh the Eq. (3) scores from the sampled taps, labeled
+    // by the model's own predictions. The features view is (n, C, spatial, 1)
+    // so conv taps keep their channel axis; NC taps pass spatial == 1.
+    Tensor feats({cfg_.window, channels_, spatial_, 1});
+    std::copy(window_taps_.begin(), window_taps_.end(), feats.data().begin());
+    scores_ = mi::channel_label_scores(feats, window_preds_, num_classes);
+    suspicious_mask_ = mi::mask_from_scores(scores_, cfg_.suspicious_fraction);
+    ++epoch_;
+    fill_ = 0;
+  }
+
+  if (!scores_.empty() &&
+      suspicious_mask_.numel() == channels) {
+    float suspicious_energy = 0.0f;
+    for (std::int64_t c = 0; c < channels; ++c) {
+      if (suspicious_mask_[c] == 0.0f) suspicious_energy += energy[c];
+    }
+    out.suspicion = total > 0.0f ? suspicious_energy / total : 0.0f;
+    out.score_epoch = epoch_;
+  }
+  return out;
+}
+
+std::uint64_t RobustnessMonitor::score_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+std::vector<float> RobustnessMonitor::channel_scores() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return scores_;
+}
+
+std::int64_t RobustnessMonitor::window_fill() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fill_;
+}
+
+std::uint64_t RobustnessMonitor::samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return samples_;
+}
+
+}  // namespace ibrar::serve

@@ -1,0 +1,94 @@
+#pragma once
+// Per-request robustness telemetry: the paper's Eq. (3) channel signal, live.
+//
+// IB-RAR scores each last-conv channel by HSIC(f_c, Y) and treats the
+// low-scoring ones as non-robust — the channels adversarial perturbations
+// exploit. The serving runtime streams that same signal over live traffic:
+// every Kth admitted request is sampled (its last-conv tap captured through
+// analysis::capture_taps), the sampled taps accumulate into a tumbling
+// scoring window, and each time the window fills the per-channel scores are
+// recomputed with mi::channel_label_scores (against the model's own
+// predictions — no ground truth exists at serving time; the parallel
+// per-channel loop keeps this affordable on a live worker). A sampled
+// request's reply then carries a `suspicion` reading: the fraction of its
+// activation energy living in the currently low-scoring channels. Clean
+// traffic concentrates energy in robust channels; inputs pushed toward the
+// non-robust ones read high.
+//
+// Sampling every Kth request bounds the overhead to (1 capture forward +
+// O(C) energy sweep) / K requests, plus one windowed re-score per
+// window*K requests.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/reply.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ibrar::serve {
+
+struct TelemetryConfig {
+  /// Sample every Kth admitted request; 0 disables telemetry entirely.
+  std::int64_t sample_every = 0;
+  /// Sampled taps per scoring window (window full -> channel scores refresh).
+  std::int64_t window = 64;
+  /// Bottom fraction of channels (by current score) counted as suspicious —
+  /// mirrors the paper's Eq. (3) drop fraction.
+  float suspicious_fraction = 0.25f;
+};
+
+/// Thread-safe accumulator behind the server's telemetry path.
+class RobustnessMonitor {
+ public:
+  explicit RobustnessMonitor(TelemetryConfig cfg);
+
+  bool enabled() const { return cfg_.sample_every > 0; }
+
+  /// Cadence gate: true for admission indices 0, K, 2K, ...
+  bool should_sample(std::uint64_t request_index) const {
+    return enabled() &&
+           request_index % static_cast<std::uint64_t>(cfg_.sample_every) == 0;
+  }
+
+  /// Record one sampled request's last-conv tap — `tap_row` is the flattened
+  /// (channels * spatial) activation — plus the model's predicted label.
+  /// Returns the telemetry to attach to the reply: suspicion against the
+  /// most recent score vector (negative before the first window completes)
+  /// and the score epoch it was computed under. Refreshes the channel scores
+  /// when this sample fills the window.
+  RequestTelemetry observe(const float* tap_row, std::int64_t channels,
+                           std::int64_t spatial, std::int64_t pred,
+                           std::int64_t num_classes);
+
+  /// Completed scoring windows so far (the `score_epoch` generation).
+  std::uint64_t score_epoch() const;
+
+  /// Copy of the current per-channel scores (empty before the first epoch).
+  std::vector<float> channel_scores() const;
+
+  /// Samples accumulated toward the next scoring window.
+  std::int64_t window_fill() const;
+
+  /// Total samples observed.
+  std::uint64_t samples() const;
+
+  const TelemetryConfig& config() const { return cfg_; }
+
+ private:
+  TelemetryConfig cfg_;
+  mutable std::mutex mu_;
+  // Tumbling window of sampled taps, stored flat (window, channels * spatial)
+  // with the predicted labels alongside; re-scored when fill_ wraps.
+  std::vector<float> window_taps_;
+  std::vector<std::int64_t> window_preds_;
+  std::int64_t fill_ = 0;
+  std::int64_t channels_ = 0;
+  std::int64_t spatial_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<float> scores_;          // last completed window's scores
+  Tensor suspicious_mask_{Shape{0}};   // 0 = suspicious channel, 1 = robust
+};
+
+}  // namespace ibrar::serve

@@ -151,7 +151,8 @@ void gemm_packed(const float* a, GemmLayout la, const float* b, GemmLayout lb,
                                 (n / kGemmNC) * kGemmNC;
   runtime::ScratchArena& caller_arena = runtime::lane_arena();
   float* bpacked =
-      caller_arena.floats(1, static_cast<std::size_t>(n_padded * k));
+      caller_arena.floats(runtime::Scratch::kGemmPackB,
+                          static_cast<std::size_t>(n_padded * k));
   for (std::int64_t jc = 0, jbase = 0; jc < n; jc += kGemmNC) {
     const std::int64_t nc = std::min(kGemmNC, n - jc);
     const std::int64_t ncp = round_up(nc, kGemmNR);
@@ -177,7 +178,8 @@ void gemm_packed(const float* a, GemmLayout la, const float* b, GemmLayout lb,
               const std::int64_t mc = std::min(kGemmMC, i1 - ic);
               const std::int64_t mcp = round_up(mc, kGemmMR);
               float* apanel =
-                  arena.floats(0, static_cast<std::size_t>(kc * mcp));
+                  arena.floats(runtime::Scratch::kGemmPackA,
+                               static_cast<std::size_t>(kc * mcp));
               pack_a(a, lda, ta, ic, mc, pc, kc, apanel);
               for (std::int64_t jr = 0; jr < nc; jr += kGemmNR) {
                 const std::int64_t nr = std::min(kGemmNR, nc - jr);

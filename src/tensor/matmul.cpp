@@ -87,8 +87,9 @@ Tensor matmul_nt_sym(const Tensor& a) {
       const std::int64_t bh = std::min(kSymBlock, m - i0);
       const std::int64_t bw = std::min(kSymBlock, m - j0);
       float* tile =
-          arena.floats(2, static_cast<std::size_t>(bh) *
-                              static_cast<std::size_t>(bw));
+          arena.floats(runtime::Scratch::kSymGramTile,
+                       static_cast<std::size_t>(bh) *
+                           static_cast<std::size_t>(bw));
       std::memset(tile, 0, sizeof(float) * static_cast<std::size_t>(bh * bw));
       gemm_packed(pa + i0 * k, GemmLayout::kRowMajor, pa + j0 * k,
                   GemmLayout::kTransposed, tile, bh, k, bw);

@@ -241,16 +241,35 @@ TEST(GemmErrors, TransposedVariantsValidateSharedDim) {
 // ---- scratch arena ----------------------------------------------------------
 
 TEST(ScratchArena, GrowsAndReusesPerSlot) {
+  using runtime::Scratch;
   runtime::ScratchArena arena;
-  float* p1 = arena.floats(0, 100);
+  float* p1 = arena.floats(Scratch::kGemmPackA, 100);
   ASSERT_NE(p1, nullptr);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % runtime::kScratchAlign, 0u);
-  float* p2 = arena.floats(0, 50);  // smaller request reuses the buffer
+  float* p2 = arena.floats(Scratch::kGemmPackA, 50);  // smaller request reuses
   EXPECT_EQ(p1, p2);
-  float* b1 = arena.floats(1, 100000);  // slot 1 must not disturb slot 0
+  // Another slot must not disturb the first.
+  float* b1 = arena.floats(Scratch::kGemmPackB, 100000);
   EXPECT_NE(b1, p1);
-  EXPECT_EQ(arena.floats(0, 100), p1);
+  EXPECT_EQ(arena.floats(Scratch::kGemmPackA, 100), p1);
   EXPECT_GE(arena.capacity_bytes(), 100000 * sizeof(float));
+}
+
+TEST(ScratchArena, NamedSlotsAreIndependent) {
+  // Every named handle hands out a distinct live buffer: nested consumers
+  // (GEMM pack slots under the sym-Gram tile under the telemetry stats) must
+  // never alias.
+  using runtime::Scratch;
+  runtime::ScratchArena arena;
+  std::vector<float*> bufs;
+  for (std::size_t s = 0; s < static_cast<std::size_t>(Scratch::kCount); ++s) {
+    bufs.push_back(arena.floats(static_cast<Scratch>(s), 64));
+  }
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    for (std::size_t j = i + 1; j < bufs.size(); ++j) {
+      EXPECT_NE(bufs[i], bufs[j]);
+    }
+  }
 }
 
 }  // namespace

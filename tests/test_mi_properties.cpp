@@ -10,6 +10,7 @@
 
 #include "autograd/gradcheck.hpp"
 #include "mi/binned_mi.hpp"
+#include "mi/channel_score.hpp"
 #include "mi/hsic.hpp"
 #include "mi/streaming.hpp"
 #include "runtime/thread_pool.hpp"
@@ -272,6 +273,66 @@ TEST(StreamingBinnedMi, AutoRangeOverloadUnchanged) {
   const auto p = binned_mi(t, y, 2, 10);
   EXPECT_NEAR(p.i_xt, 1.0, 1e-6);
   EXPECT_NEAR(p.i_ty, 1.0, 1e-6);
+}
+
+// ---- median_sigma (sampled vs exact) ---------------------------------------
+
+TEST(MedianSigma, ExactPathBelowPairThreshold) {
+  // Up to kMedianSigmaExactPairs pairs, median_sigma IS the exact median —
+  // no sampling, bitwise the same as the reference path.
+  Rng rng(3);
+  const Tensor x = rand_uniform({64, 8}, rng, -1.0f, 1.0f);  // 2016 pairs
+  EXPECT_EQ(median_sigma(x), median_sigma_exact(x));
+}
+
+TEST(MedianSigma, SampledEstimateWithinToleranceOfExact) {
+  // Above the threshold the sampled median must track the exact one. 200
+  // rows = 19900 pairs, well past kMedianSigmaExactPairs.
+  Rng rng(11);
+  const Tensor x = randn({200, 16}, rng);
+  const float exact = median_sigma_exact(x);
+  const float sampled = median_sigma(x);
+  ASSERT_GT(exact, 0.0f);
+  EXPECT_NEAR(sampled / exact, 1.0f, 0.1f);
+  // Deterministic: the subsample is a fixed-seed function of the input.
+  EXPECT_EQ(sampled, median_sigma(x));
+}
+
+// ---- channel_label_scores (parallel per-channel loop) ----------------------
+
+TEST(ChannelScores, BitIdenticalAcrossLaneCounts) {
+  Rng rng(21);
+  const Tensor feats = randn({24, 6, 4, 4}, rng);
+  std::vector<std::int64_t> labels(24);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int64_t>(i) % 3;
+  }
+  runtime::set_num_threads(1);
+  const auto s1 = channel_label_scores(feats, labels, 3);
+  runtime::set_num_threads(4);
+  const auto s4 = channel_label_scores(feats, labels, 3);
+  runtime::set_num_threads(0);
+  ASSERT_EQ(s1.size(), s4.size());
+  for (std::size_t c = 0; c < s1.size(); ++c) {
+    EXPECT_EQ(s1[c], s4[c]) << "channel " << c;  // exact bits, not tolerance
+  }
+}
+
+TEST(ChannelScores, NcFeaturesAndMaskContractUnchanged) {
+  // Rank-2 features keep working after the parallel rewrite, and the Eq. (3)
+  // mask still drops the lowest-scoring channels only.
+  Rng rng(31);
+  Tensor feats = randn({20, 5}, rng);
+  std::vector<std::int64_t> labels(20);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int64_t>(i) % 2;
+  }
+  const auto scores = channel_label_scores(feats, labels, 2);
+  ASSERT_EQ(scores.size(), 5u);
+  const Tensor mask = mask_from_scores(scores, 0.2f);
+  std::int64_t kept = 0;
+  for (std::int64_t c = 0; c < 5; ++c) kept += mask[c] == 1.0f ? 1 : 0;
+  EXPECT_EQ(kept, 4);  // exactly one channel dropped at 20%
 }
 
 }  // namespace

@@ -1,0 +1,507 @@
+// Serving runtime: queue backpressure + drain, dual batch triggers,
+// batched-vs-singleton bit-identity, versioned hot-swap under live load, and
+// telemetry sampling cadence.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "models/registry.hpp"
+#include "nn/module.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "tensor/random.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::int64_t kSize = 4;       // image side
+constexpr std::int64_t kChannels = 3;
+constexpr std::int64_t kClasses = 5;
+
+models::TapClassifierPtr tiny_model(std::uint64_t seed) {
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  spec.num_classes = kClasses;
+  spec.image_size = kSize;
+  spec.in_channels = kChannels;
+  Rng rng(seed);
+  return models::make_model(spec, rng);
+}
+
+Shape sample_shape() { return {kChannels, kSize, kSize}; }
+
+Tensor sample_input(std::uint64_t seed) {
+  Rng rng(seed);
+  return rand_uniform({kChannels, kSize, kSize}, rng, 0.0f, 1.0f);
+}
+
+serve::Request make_request(std::uint64_t seed = 1) {
+  serve::Request r;
+  r.input = sample_input(seed);
+  return r;
+}
+
+// ---- request queue ----------------------------------------------------------
+
+TEST(RequestQueue, BackpressureRejectsWithoutConsuming) {
+  serve::RequestQueue q(2);
+  serve::Request a = make_request(1), b = make_request(2), c = make_request(3);
+  EXPECT_EQ(q.push(a), serve::PushStatus::kAccepted);
+  EXPECT_EQ(q.push(b), serve::PushStatus::kAccepted);
+  EXPECT_EQ(q.push(c), serve::PushStatus::kFull);
+  // The rejected request was NOT moved from: its promise is still usable.
+  auto fut = c.promise.get_future();
+  serve::Reply reply;
+  reply.status = serve::ReplyStatus::kRejectedQueueFull;
+  c.promise.set_value(std::move(reply));
+  EXPECT_EQ(fut.get().status, serve::ReplyStatus::kRejectedQueueFull);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueue, CloseStopsAdmissionButDrainsAcceptedItems) {
+  serve::RequestQueue q(8);
+  serve::Request a = make_request(1), b = make_request(2);
+  EXPECT_EQ(q.push(a), serve::PushStatus::kAccepted);
+  EXPECT_EQ(q.push(b), serve::PushStatus::kAccepted);
+  q.close();
+  serve::Request late = make_request(3);
+  EXPECT_EQ(q.push(late), serve::PushStatus::kClosed);
+  // Both accepted items drain before kClosed is reported.
+  serve::Request out;
+  EXPECT_EQ(q.pop(out), serve::PopStatus::kItem);
+  EXPECT_EQ(q.pop(out), serve::PopStatus::kItem);
+  EXPECT_EQ(q.pop(out), serve::PopStatus::kClosed);
+}
+
+TEST(RequestQueue, AdmissionIndicesAreGapFreeAcrossRejections) {
+  // The telemetry cadence is "every Kth ADMITTED request": a rejected push
+  // must not consume a sequence number.
+  serve::RequestQueue q(1);
+  serve::Request a = make_request(1), b = make_request(2), c = make_request(3);
+  ASSERT_EQ(q.push(a), serve::PushStatus::kAccepted);
+  ASSERT_EQ(q.push(b), serve::PushStatus::kFull);  // no index consumed
+  serve::Request out;
+  ASSERT_EQ(q.pop(out), serve::PopStatus::kItem);
+  EXPECT_EQ(out.index, 0u);
+  ASSERT_EQ(q.push(c), serve::PushStatus::kAccepted);
+  ASSERT_EQ(q.pop(out), serve::PopStatus::kItem);
+  EXPECT_EQ(out.index, 1u);  // 1, not 2: the kFull push left no gap
+}
+
+TEST(RequestQueue, PopUntilTimesOutOnOpenEmptyQueue) {
+  serve::RequestQueue q(4);
+  serve::Request out;
+  EXPECT_EQ(q.pop_until(out, std::chrono::steady_clock::now() + 5ms),
+            serve::PopStatus::kTimeout);
+}
+
+// ---- batcher ----------------------------------------------------------------
+
+TEST(Batcher, SizeTriggerReleasesFullBatchWithoutDeadlineWait) {
+  serve::RequestQueue q(16);
+  for (int i = 0; i < 4; ++i) {
+    serve::Request r = make_request(static_cast<std::uint64_t>(i));
+    ASSERT_EQ(q.push(r), serve::PushStatus::kAccepted);
+  }
+  // A 10-second deadline would hang the test if the size trigger waited.
+  serve::Batcher batcher(q, /*max_batch=*/4, /*deadline_us=*/10'000'000);
+  serve::MicroBatch mb;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(batcher.next(mb));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(mb.size(), 4);
+  EXPECT_EQ(mb.trigger, serve::BatchTrigger::kSize);
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST(Batcher, DeadlineTriggerFlushesPartialBatch) {
+  serve::RequestQueue q(16);
+  for (int i = 0; i < 2; ++i) {
+    serve::Request r = make_request(static_cast<std::uint64_t>(i));
+    ASSERT_EQ(q.push(r), serve::PushStatus::kAccepted);
+  }
+  serve::Batcher batcher(q, /*max_batch=*/8, /*deadline_us=*/20'000);
+  serve::MicroBatch mb;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(batcher.next(mb));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(mb.size(), 2);
+  EXPECT_EQ(mb.trigger, serve::BatchTrigger::kDeadline);
+  EXPECT_GE(elapsed, 15ms);  // it really waited the deadline out
+}
+
+TEST(Batcher, DrainTriggerFlushesImmediatelyOnClose) {
+  serve::RequestQueue q(16);
+  for (int i = 0; i < 3; ++i) {
+    serve::Request r = make_request(static_cast<std::uint64_t>(i));
+    ASSERT_EQ(q.push(r), serve::PushStatus::kAccepted);
+  }
+  q.close();
+  serve::Batcher batcher(q, /*max_batch=*/8, /*deadline_us=*/10'000'000);
+  serve::MicroBatch mb;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(batcher.next(mb));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(mb.size(), 3);
+  EXPECT_EQ(mb.trigger, serve::BatchTrigger::kDrain);
+  EXPECT_LT(elapsed, 2s);  // no 10-second deadline wait on shutdown
+  EXPECT_FALSE(batcher.next(mb));  // queue closed and drained
+}
+
+// ---- model registry ---------------------------------------------------------
+
+TEST(ModelRegistry, PublishBumpsVersionAndSwapsSnapshot) {
+  serve::ModelRegistry reg;
+  EXPECT_EQ(reg.version(), 0u);
+  EXPECT_EQ(reg.current(), nullptr);
+  const auto v1 = reg.publish(tiny_model(1), sample_shape(), "v1");
+  EXPECT_EQ(v1, 1u);
+  const auto snap1 = reg.current();
+  ASSERT_NE(snap1, nullptr);
+  EXPECT_EQ(snap1->version, 1u);
+  EXPECT_EQ(snap1->tag, "v1");
+  EXPECT_FALSE(snap1->model->training());  // published in eval mode
+  const auto v2 = reg.publish(tiny_model(2), sample_shape(), "v2");
+  EXPECT_EQ(v2, 2u);
+  // The old snapshot stays alive and unchanged for in-flight holders.
+  EXPECT_EQ(snap1->version, 1u);
+  EXPECT_EQ(reg.current()->version, 2u);
+}
+
+TEST(ModelRegistry, CheckpointHotSwapRoundTripsBitIdentically) {
+  const std::string path = "test_serve_ckpt.bin";
+  auto original = tiny_model(7);
+  original->set_training(false);
+  nn::save_model(*original, path);
+
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  spec.num_classes = kClasses;
+  spec.image_size = kSize;
+  spec.in_channels = kChannels;
+  serve::ModelRegistry reg;
+  const auto v = reg.publish_checkpoint(spec, path);
+  EXPECT_EQ(v, 1u);
+
+  ag::NoGradGuard ng;
+  const Tensor x = sample_input(11).reshape({1, kChannels, kSize, kSize});
+  const Tensor a = original->forward(ag::Var::constant(x)).value();
+  const Tensor b = reg.current()->model->forward(ag::Var::constant(x)).value();
+  ASSERT_TRUE(a.same_shape(b));
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        sizeof(float) * static_cast<std::size_t>(a.numel())),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, CheckpointLoadFailureLeavesCurrentVersionServing) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape(), "v1");
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  spec.num_classes = kClasses;
+  spec.image_size = kSize;
+  spec.in_channels = kChannels;
+  EXPECT_THROW(reg.publish_checkpoint(spec, "does_not_exist.bin"),
+               std::runtime_error);
+  EXPECT_EQ(reg.version(), 1u);
+}
+
+// ---- server -----------------------------------------------------------------
+
+serve::ServeConfig quick_config() {
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_us = 1000;
+  cfg.queue_capacity = 64;
+  return cfg;
+}
+
+TEST(Server, ServesAcceptedRequestsAndRejectsBadShapes) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+  serve::Server server(reg, quick_config());
+  auto fut = server.submit(sample_input(3));
+  const auto reply = fut.get();
+  EXPECT_EQ(reply.status, serve::ReplyStatus::kOk);
+  EXPECT_EQ(reply.logits.numel(), kClasses);
+  EXPECT_GE(reply.argmax, 0);
+  EXPECT_LT(reply.argmax, kClasses);
+  EXPECT_EQ(reply.model_version, 1u);
+  EXPECT_GE(reply.batch_size, 1);
+  EXPECT_GE(reply.compute_ns, 0);
+  EXPECT_THROW(server.submit(Tensor({2, 2})), std::invalid_argument);
+}
+
+TEST(Server, ShutdownDrainsEveryAcceptedRequest) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+  auto server = std::make_unique<serve::Server>(reg, quick_config());
+  std::vector<std::future<serve::Reply>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(server->submit(sample_input(static_cast<std::uint64_t>(i))));
+  }
+  server->shutdown();  // close + drain + join
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    if (r.status == serve::ReplyStatus::kOk) {
+      ++ok;
+    } else {
+      ++rejected;  // backpressure is legal; dropping accepted work is not
+      EXPECT_EQ(r.status, serve::ReplyStatus::kRejectedQueueFull);
+    }
+  }
+  const auto stats = server->stats();
+  EXPECT_EQ(ok, stats.accepted);
+  EXPECT_EQ(ok, stats.served);
+  EXPECT_EQ(rejected, stats.rejected_full);
+  // Post-shutdown submissions resolve immediately with the shutdown status.
+  auto late = server->submit(sample_input(99));
+  EXPECT_EQ(late.get().status, serve::ReplyStatus::kRejectedShutdown);
+  EXPECT_EQ(server->stats().rejected_shutdown, 1u);
+}
+
+TEST(Server, BackpressureRejectsWithStatusUnderFlood) {
+  serve::ModelRegistry reg;
+  // vgg forward is slow enough (>100us) that a burst of immediate submissions
+  // outruns the single worker by a wide margin.
+  models::ModelSpec spec;
+  spec.name = "vgg16";
+  spec.num_classes = kClasses;
+  spec.image_size = 8;
+  spec.in_channels = kChannels;
+  Rng rng(5);
+  reg.publish(models::make_model(spec, rng), {kChannels, 8, 8});
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.deadline_us = 0;
+  cfg.queue_capacity = 4;
+  serve::Server server(reg, cfg);
+  Rng in_rng(17);
+  const Tensor x = rand_uniform({kChannels, 8, 8}, in_rng, 0.0f, 1.0f);
+  std::vector<std::future<serve::Reply>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(server.submit(x));
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    if (r.status == serve::ReplyStatus::kOk) ++ok;
+    else {
+      EXPECT_EQ(r.status, serve::ReplyStatus::kRejectedQueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 64u);
+  EXPECT_GT(rejected, 0u);  // the bounded queue really pushed back
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, ok);
+  EXPECT_EQ(stats.rejected_full, rejected);
+}
+
+TEST(Server, BatchedLogitsBitIdenticalToSingleton) {
+  // The determinism contract: the same input produces the same logits bits
+  // whether it rides a micro-batch or a batch of one.
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+
+  const int n = 16;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(sample_input(100 + static_cast<std::uint64_t>(i)));
+  }
+
+  std::vector<Tensor> singleton(n), batched(n);
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 1;
+    cfg.queue_capacity = 64;
+    serve::Server server(reg, cfg);
+    for (int i = 0; i < n; ++i) {
+      singleton[static_cast<std::size_t>(i)] =
+          server.submit(inputs[static_cast<std::size_t>(i)]).get().logits;
+    }
+  }
+  std::uint64_t max_batch_seen = 0;
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.deadline_us = 50'000;  // long enough that the burst coalesces
+    cfg.queue_capacity = 64;
+    serve::Server server(reg, cfg);
+    std::vector<std::future<serve::Reply>> futures;
+    for (int i = 0; i < n; ++i) {
+      futures.push_back(server.submit(inputs[static_cast<std::size_t>(i)]));
+    }
+    for (int i = 0; i < n; ++i) {
+      batched[static_cast<std::size_t>(i)] =
+          futures[static_cast<std::size_t>(i)].get().logits;
+    }
+    max_batch_seen = server.stats().max_batch_observed;
+  }
+  EXPECT_GT(max_batch_seen, 1u);  // batching actually happened
+  for (int i = 0; i < n; ++i) {
+    const Tensor& a = singleton[static_cast<std::size_t>(i)];
+    const Tensor& b = batched[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(a.same_shape(b));
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          sizeof(float) * static_cast<std::size_t>(a.numel())),
+              0)
+        << "logits differ for request " << i;
+  }
+}
+
+TEST(Server, HotSwapUnderLoadFinishesOldVersionThenServesNew) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape(), "v1");
+  serve::Server server(reg, quick_config());
+
+  std::vector<serve::Reply> replies;
+  for (int i = 0; i < 10; ++i) {
+    replies.push_back(server.submit(sample_input(static_cast<std::uint64_t>(i)))
+                          .get());
+  }
+  // Everything so far was served by v1.
+  for (const auto& r : replies) {
+    EXPECT_EQ(r.status, serve::ReplyStatus::kOk);
+    EXPECT_EQ(r.model_version, 1u);
+  }
+  // Swap under live traffic: submissions race the publish from another
+  // thread; whichever version a batch grabbed, it must complete OK and
+  // versions may only move forward.
+  std::thread swapper(
+      [&reg] { reg.publish(tiny_model(2), sample_shape(), "v2"); });
+  std::vector<serve::Reply> during;
+  for (int i = 0; i < 20; ++i) {
+    during.push_back(
+        server.submit(sample_input(100 + static_cast<std::uint64_t>(i))).get());
+  }
+  swapper.join();
+  std::uint64_t prev = 1;
+  for (const auto& r : during) {
+    EXPECT_EQ(r.status, serve::ReplyStatus::kOk);
+    EXPECT_GE(r.model_version, prev);  // monotone with a single worker
+    EXPECT_LE(r.model_version, 2u);
+    prev = r.model_version;
+  }
+  // After the swap completed, the next request is guaranteed v2.
+  const auto after = server.submit(sample_input(999)).get();
+  EXPECT_EQ(after.status, serve::ReplyStatus::kOk);
+  EXPECT_EQ(after.model_version, 2u);
+}
+
+TEST(Server, HotSwapToDifferentInputShapeFailsStaleRowsSafely) {
+  // Requests validated against v1's (3, 4, 4) can still be queued when a
+  // hot-swap publishes a model expecting a different layout. Those rows must
+  // never reach the batch memcpy (heap overread); they fail with
+  // kRejectedStaleShape while anything served before the swap is plain kOk.
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape(), "v1");
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.deadline_us = 1000;
+  cfg.queue_capacity = 64;
+  serve::Server server(reg, cfg);
+
+  std::vector<std::future<serve::Reply>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(server.submit(sample_input(static_cast<std::uint64_t>(i))));
+  }
+  // Swap to a model with twice the spatial size while the queue drains.
+  models::ModelSpec wide;
+  wide.name = "mlp";
+  wide.num_classes = kClasses;
+  wide.image_size = 2 * kSize;
+  wide.in_channels = kChannels;
+  Rng rng(2);
+  reg.publish(models::make_model(wide, rng), {kChannels, 2 * kSize, 2 * kSize},
+              "v2-wide");
+
+  std::size_t ok = 0, stale = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    if (r.status == serve::ReplyStatus::kOk) {
+      EXPECT_EQ(r.model_version, 1u);  // old shape can only be served by v1
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, serve::ReplyStatus::kRejectedStaleShape);
+      EXPECT_EQ(r.model_version, 2u);
+      ++stale;
+    }
+  }
+  EXPECT_EQ(ok + stale, 24u);  // every future resolved, whichever side of the
+                               // swap its batch landed on
+  EXPECT_EQ(server.stats().rejected_stale, stale);
+  // New-shape traffic is served by v2.
+  Rng in_rng(77);
+  const auto wide_reply =
+      server.submit(rand_uniform({kChannels, 2 * kSize, 2 * kSize}, in_rng))
+          .get();
+  EXPECT_EQ(wide_reply.status, serve::ReplyStatus::kOk);
+  EXPECT_EQ(wide_reply.model_version, 2u);
+}
+
+TEST(Server, RejectsMultiWorkerTelemetryCombination) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+  serve::ServeConfig cfg = quick_config();
+  cfg.workers = 2;
+  cfg.telemetry.sample_every = 4;
+  EXPECT_THROW(serve::Server(reg, cfg), std::invalid_argument);
+  cfg.telemetry.sample_every = 0;  // telemetry off: multi-worker is fine
+  serve::Server server(reg, cfg);
+  EXPECT_EQ(server.submit(sample_input(1)).get().status,
+            serve::ReplyStatus::kOk);
+}
+
+TEST(Server, TelemetrySamplesEveryKthRequestAndScoresAfterWindow) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+  serve::ServeConfig cfg = quick_config();
+  cfg.max_batch = 1;  // keep admission order == completion order
+  cfg.telemetry.sample_every = 4;
+  cfg.telemetry.window = 8;
+  serve::Server server(reg, cfg);
+
+  std::vector<serve::Reply> replies;
+  for (int i = 0; i < 33; ++i) {
+    replies.push_back(server.submit(sample_input(static_cast<std::uint64_t>(i)))
+                          .get());
+  }
+  std::size_t sampled = 0;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    ASSERT_EQ(replies[i].status, serve::ReplyStatus::kOk);
+    if (i % 4 == 0) {
+      EXPECT_TRUE(replies[i].telemetry.sampled) << "request " << i;
+      ++sampled;
+    } else {
+      EXPECT_FALSE(replies[i].telemetry.sampled) << "request " << i;
+    }
+  }
+  EXPECT_EQ(sampled, 9u);  // indices 0, 4, ..., 32
+  EXPECT_EQ(server.stats().telemetry_samples, 9u);
+  // The 8th sample (request 28) filled the first window: scores exist from
+  // then on, and suspicion becomes a valid [0, 1] energy fraction.
+  EXPECT_EQ(server.monitor().score_epoch(), 1u);
+  EXPECT_EQ(server.monitor().channel_scores().size(),
+            static_cast<std::size_t>(tiny_model(1)->last_conv_channels()));
+  EXPECT_LT(replies[24].telemetry.suspicion, 0.0f);  // before the window
+  EXPECT_GE(replies[28].telemetry.suspicion, 0.0f);  // window just completed
+  EXPECT_LE(replies[28].telemetry.suspicion, 1.0f);
+  EXPECT_EQ(replies[28].telemetry.score_epoch, 1u);
+  EXPECT_GE(replies[32].telemetry.suspicion, 0.0f);
+}
+
+}  // namespace
+}  // namespace ibrar

@@ -1,0 +1,282 @@
+// ibrar_serve — always-on inference serving demo over the synthetic benchmarks.
+//
+// Trains one model (CE by default; IBRAR_EPOCHS scales it), publishes it into
+// a versioned ModelRegistry, and drives closed-loop client threads through
+// the micro-batching Server. Optionally:
+//
+//   * --adv F       replaces fraction F of the traffic with PGD-perturbed
+//                   inputs, so the per-request robustness telemetry has
+//                   something to flag — the summary splits mean suspicion by
+//                   clean vs adversarial traffic (the paper's Eq. 3 channel
+//                   signal, online);
+//   * --swap        demonstrates hot reload: halfway through the run the
+//                   current weights are checkpointed to disk and republished
+//                   through publish_checkpoint (version 2) while clients keep
+//                   submitting — replies report which version served them;
+//   * --telemetry K sampling cadence (default 4; 0 disables).
+//
+// Server shape comes from the standard env knobs: IBRAR_SERVE_MAX_BATCH,
+// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP. Results are printed and
+// recorded to an ibrar-bench-v1 JSON (--out, default SERVE.json).
+//
+//   ./ibrar_serve --model vgg16 --requests 2000 --clients 8 --adv 0.5 --swap
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attacks/pgd.hpp"
+#include "common.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+
+using namespace ibrar;
+using namespace ibrar::bench;
+
+namespace {
+
+struct SuspicionStat {
+  double sum = 0.0;
+  std::int64_t n = 0;
+  void add(float v) {
+    sum += v;
+    ++n;
+  }
+  double mean() const { return n > 0 ? sum / static_cast<double>(n) : -1.0; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "synth-cifar10";
+  std::string model_name = "vgg16";
+  std::string out_path = env::get_string("IBRAR_BENCH_OUT", "SERVE.json");
+  std::int64_t requests = 1000;
+  std::int64_t clients = 8;
+  std::int64_t telemetry_every = 4;
+  double adv_fraction = 0.0;
+  bool swap_mid_run = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") dataset = next();
+    else if (arg == "--model") model_name = next();
+    else if (arg == "--requests") requests = std::stoll(next());
+    else if (arg == "--clients") clients = std::stoll(next());
+    else if (arg == "--telemetry") telemetry_every = std::stoll(next());
+    else if (arg == "--adv") adv_fraction = std::stod(next());
+    else if (arg == "--swap") swap_mid_run = true;
+    else if (arg == "--out") out_path = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: ibrar_serve [--dataset D] [--model M] [--requests N]"
+                   " [--clients C] [--telemetry K] [--adv FRACTION] [--swap]"
+                   " [--out FILE]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  print_header("ibrar_serve: micro-batching inference server demo");
+  const auto s = default_scale();
+  const auto data = data::make_dataset(dataset, s.train_size, s.test_size);
+  models::ModelSpec spec;
+  spec.name = model_name;
+  spec.num_classes = data.train.num_classes;
+  spec.image_size = data.test.height();
+  spec.in_channels = data.test.channels();
+
+  // ---- train + publish v1 ---------------------------------------------------
+  Stopwatch sw;
+  analysis::TrainSpec tspec;
+  tspec.base = "CE";
+  tspec.train = train_config(s);
+  auto model = analysis::train_model(spec, data, tspec, 42);
+  std::fprintf(stderr, "[serve] trained %s in %.1fs\n", model_name.c_str(),
+               sw.reset());
+  serve::ModelRegistry registry;
+  const Shape chw = {data.test.channels(), data.test.height(),
+                     data.test.width()};
+  registry.publish(model, chw, model_name + "-v1");
+
+  // ---- stage traffic: clean rows, a fraction adversarially perturbed --------
+  const std::int64_t n = data.test.size();
+  std::vector<Tensor> rows = stage_rows(data.test);
+  std::vector<bool> is_adv(static_cast<std::size_t>(n), false);
+  if (adv_fraction > 0.0) {
+    attacks::AttackConfig acfg;
+    acfg.steps = s.attack_steps;
+    attacks::PGD pgd(acfg);
+    const auto n_adv = static_cast<std::int64_t>(adv_fraction *
+                                                 static_cast<double>(n));
+    for (std::int64_t b = 0; b < n_adv; b += s.batch) {
+      const std::int64_t e = std::min(n_adv, b + s.batch);
+      const auto batch = data::make_batch(data.test, b, e);
+      const Tensor x_adv = pgd.perturb(*model, batch.x, batch.y);
+      const std::int64_t row_elems = chw[0] * chw[1] * chw[2];
+      for (std::int64_t i = b; i < e; ++i) {
+        Tensor r({chw[0], chw[1], chw[2]});
+        std::memcpy(r.data().data(),
+                    x_adv.data().data() + (i - b) * row_elems,
+                    sizeof(float) * static_cast<std::size_t>(row_elems));
+        rows[static_cast<std::size_t>(i)] = std::move(r);
+        is_adv[static_cast<std::size_t>(i)] = true;
+      }
+    }
+    std::fprintf(stderr, "[serve] perturbed %lld/%lld rows with PGD-%lld "
+                 "(%.1fs)\n", static_cast<long long>(n_adv),
+                 static_cast<long long>(n),
+                 static_cast<long long>(s.attack_steps), sw.reset());
+  }
+
+  // ---- serve ---------------------------------------------------------------
+  serve::ServeConfig cfg = serve::ServeConfig::from_env();
+  cfg.telemetry.sample_every = telemetry_every;
+  cfg.telemetry.window = 32;
+  serve::Server server(registry, cfg);
+  std::printf("serving %s v1: max_batch=%lld deadline=%lldus queue=%lld "
+              "clients=%lld requests=%lld telemetry=every %lldth\n",
+              model_name.c_str(), static_cast<long long>(cfg.max_batch),
+              static_cast<long long>(cfg.deadline_us),
+              static_cast<long long>(cfg.queue_capacity),
+              static_cast<long long>(clients),
+              static_cast<long long>(requests),
+              static_cast<long long>(telemetry_every));
+
+  std::mutex agg_mu;
+  SuspicionStat clean_susp, adv_susp;
+  std::vector<std::uint64_t> version_counts(8, 0);
+  std::atomic<std::int64_t> correct{0}, served{0}, rejected{0};
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(requests));
+
+  std::atomic<std::int64_t> swap_at{swap_mid_run ? requests / 2 : -1};
+  std::atomic<bool> swapped{false};
+  const std::string ckpt_path = "ibrar_serve_hot_swap.ckpt";
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::int64_t r = c; r < requests; r += clients) {
+        // Hot swap: the first client to cross the midpoint republishes the
+        // current weights from a disk checkpoint as version 2, while every
+        // other client keeps submitting against whatever version is live.
+        if (swap_at.load() >= 0 && r >= swap_at.load() &&
+            !swapped.exchange(true)) {
+          nn::save_model(*model, ckpt_path);
+          registry.publish_checkpoint(spec, ckpt_path, model_name + "-v2");
+          std::fprintf(stderr, "[serve] hot-swapped to v2 at request %lld\n",
+                       static_cast<long long>(r));
+        }
+        const std::int64_t row = r % n;
+        Stopwatch lat;
+        const auto reply = server.submit(rows[static_cast<std::size_t>(row)])
+                               .get();
+        const double ms = lat.seconds() * 1e3;
+        if (!reply.ok()) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        served.fetch_add(1);
+        if (reply.argmax == data.test.labels[static_cast<std::size_t>(row)]) {
+          correct.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lk(agg_mu);
+        latencies_ms.push_back(ms);
+        if (reply.model_version < version_counts.size()) {
+          ++version_counts[static_cast<std::size_t>(reply.model_version)];
+        }
+        if (reply.telemetry.sampled && reply.telemetry.suspicion >= 0.0f) {
+          (is_adv[static_cast<std::size_t>(row)] ? adv_susp : clean_susp)
+              .add(reply.telemetry.suspicion);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+  server.shutdown();
+  if (swapped.load()) std::remove(ckpt_path.c_str());
+
+  // ---- summary --------------------------------------------------------------
+  auto pct = [&](double q) { return percentile(latencies_ms, q); };
+  const auto stats = server.stats();
+  const double throughput = static_cast<double>(requests) / seconds;
+  std::printf("\n-- served %lld requests in %.2fs: %.1f req/s  p50 %.2fms  "
+              "p99 %.2fms --\n",
+              static_cast<long long>(served.load()), seconds, throughput,
+              pct(0.5), pct(0.99));
+  std::printf("   accuracy %.3f  rejected %lld  batches %llu (size %llu / "
+              "deadline %llu / drain %llu)  max batch %llu\n",
+              served.load() > 0
+                  ? static_cast<double>(correct.load()) /
+                        static_cast<double>(served.load())
+                  : 0.0,
+              static_cast<long long>(rejected.load()),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.size_triggers),
+              static_cast<unsigned long long>(stats.deadline_triggers),
+              static_cast<unsigned long long>(stats.drain_triggers),
+              static_cast<unsigned long long>(stats.max_batch_observed));
+  for (std::size_t v = 1; v < version_counts.size(); ++v) {
+    if (version_counts[v] > 0) {
+      std::printf("   model v%zu served %llu requests\n", v,
+                  static_cast<unsigned long long>(version_counts[v]));
+    }
+  }
+  if (telemetry_every > 0) {
+    std::printf("   telemetry: %llu sampled, %llu scoring epochs",
+                static_cast<unsigned long long>(stats.telemetry_samples),
+                static_cast<unsigned long long>(server.monitor().score_epoch()));
+    if (clean_susp.n > 0) {
+      std::printf(", mean suspicion clean %.3f (n=%lld)", clean_susp.mean(),
+                  static_cast<long long>(clean_susp.n));
+    }
+    if (adv_susp.n > 0) {
+      std::printf(", adversarial %.3f (n=%lld)", adv_susp.mean(),
+                  static_cast<long long>(adv_susp.n));
+    }
+    std::printf("\n");
+  }
+
+  JsonReporter reporter(out_path);
+  auto record = [&](const std::string& kernel, const std::string& shape,
+                    double metric) {
+    BenchRecord rec;
+    rec.kernel = kernel;
+    rec.shape = shape;
+    rec.checksum = metric;
+    rec.threads = runtime::num_threads();
+    reporter.add(rec);
+  };
+  record("serve_cli/throughput_rps",
+         "clients=" + std::to_string(clients) + ",model=" + model_name,
+         throughput);
+  record("serve_cli/p99_ms", "clients=" + std::to_string(clients), pct(0.99));
+  record("serve_cli/accuracy", "served=" + std::to_string(served.load()),
+         served.load() > 0 ? static_cast<double>(correct.load()) /
+                                 static_cast<double>(served.load())
+                           : 0.0);
+  if (clean_susp.n > 0) {
+    record("serve_cli/suspicion_clean", "n=" + std::to_string(clean_susp.n),
+           clean_susp.mean());
+  }
+  if (adv_susp.n > 0) {
+    record("serve_cli/suspicion_adv", "n=" + std::to_string(adv_susp.n),
+           adv_susp.mean());
+  }
+  reporter.write();
+  return 0;
+}
