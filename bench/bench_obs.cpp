@@ -1,0 +1,253 @@
+// Observability overhead bench: the instruments must not perturb the patient.
+//
+// Rows recorded (BENCH_pr6.json / IBRAR_BENCH_OUT):
+//   obs/counter_inc        ns per Counter::inc on the sharded hot path
+//   obs/histogram_observe  ns per Histogram::observe (bucket + count + sum)
+//   obs/span_record        ns per active Span (2 clock reads + ring append)
+//   obs/profile_scope_off  ns per DISABLED ProfileScope — the permanent-hook
+//                          cost every kernel pays; gated below
+//   obs/gemm_profile_ab    gemm_packed wall time with profiling OFF vs ON,
+//                          speedup_vs_naive = off/on ratio, bit_identical =
+//                          memcmp of the two output buffers
+//
+// Gates (nonzero exit so CI can enforce them):
+//   * gemm outputs with profiling on vs off are bit-identical — observation
+//     never changes computation.
+//   * (optimized, non-sanitized builds only) a disabled ProfileScope costs
+//     < 100 ns. Measured
+//     cost is typically ~1-3 ns; the slack absorbs noisy shared CI runners.
+//     A gemm call is >= hundreds of microseconds, so even the gate bound is
+//     <0.1% per call — "no measurable overhead" in bench_gemm terms.
+//   * Sharded counters are exact: 4 threads x 200k increments must sum to
+//     exactly 800000 (runs in every build flavour, including sanitizers).
+//
+//   ./bench_obs            full iteration counts
+//   ./bench_obs --smoke    reduced counts — the bench_obs_smoke CTest run
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "reporter.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/gemm_packed.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace ibrar::bench {
+namespace {
+
+/// Mean ns/op of fn(iters) over `reps` timed runs (best-of to shed noise).
+template <typename F>
+double time_ns_per_op(F&& fn, std::int64_t iters, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn(iters);
+    best = std::min(best, sw.seconds() * 1e9 / static_cast<double>(iters));
+  }
+  return best;
+}
+
+void add_ns_row(JsonReporter& rep, Table& table, const char* kernel,
+                double ns_per_op, std::int64_t iters) {
+  BenchRecord rec;
+  rec.kernel = kernel;
+  rec.shape = std::to_string(iters) + " ops";
+  rec.ns_per_op = ns_per_op;
+  rep.add(rec);
+  table.add_row({kernel, rec.shape, Table::num(ns_per_op, 2)});
+}
+
+bool counter_exactness() {
+  obs::Counter c;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 200000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  const std::uint64_t got = c.value();
+  const std::uint64_t want = kThreads * kPerThread;
+  if (got != want) {
+    std::fprintf(stderr,
+                 "[bench_obs] FAIL: sharded counter lost increments "
+                 "(%llu != %llu)\n",
+                 static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace ibrar::bench
+
+int main(int argc, char** argv) {
+  using namespace ibrar;
+  using namespace ibrar::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::int64_t hot_iters = smoke ? 200000 : 4000000;
+  const std::int64_t span_iters = smoke ? 50000 : 500000;
+  const int gemm_reps = smoke ? 1 : 5;
+  const std::int64_t gm = smoke ? 96 : 256, gk = smoke ? 96 : 256,
+                     gn = smoke ? 96 : 256;
+
+  JsonReporter rep(env::get_string("IBRAR_BENCH_OUT",
+                                   smoke ? "BENCH_smoke_obs.json"
+                                         : "BENCH_pr6.json"));
+  Table table({"row", "shape", "ns_per_op"});
+  bool ok = true;
+
+  // -- exactness gate (cheap, every build flavour) --------------------------
+  ok = counter_exactness() && ok;
+
+  // -- hot-path costs -------------------------------------------------------
+  obs::MetricsRegistry local;  // private registry: rows don't pollute serve.*
+  obs::Counter& ctr = local.counter("bench.counter");
+  obs::Histogram& hist = local.histogram("bench.hist");
+
+  const double counter_ns = time_ns_per_op(
+      [&ctr](std::int64_t n) {
+        for (std::int64_t i = 0; i < n; ++i) ctr.inc();
+      },
+      hot_iters);
+  add_ns_row(rep, table, "obs/counter_inc", counter_ns, hot_iters);
+
+  const double hist_ns = time_ns_per_op(
+      [&hist](std::int64_t n) {
+        for (std::int64_t i = 0; i < n; ++i)
+          hist.observe(static_cast<double>(i % 4096 + 1));
+      },
+      hot_iters);
+  add_ns_row(rep, table, "obs/histogram_observe", hist_ns, hot_iters);
+
+  // Active span cost: force sampling on, then restore. Rings overwrite
+  // oldest-first so span_iters >> cap is fine.
+  const std::int64_t saved_k = obs::trace_sample_every();
+  obs::set_trace_sample_every(1);
+  const double span_ns = time_ns_per_op(
+      [](std::int64_t n) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          obs::Span s("bench_span", true, static_cast<std::uint64_t>(i));
+        }
+      },
+      span_iters);
+  obs::set_trace_sample_every(saved_k);
+  obs::clear_trace();
+  add_ns_row(rep, table, "obs/span_record", span_ns, span_iters);
+
+  // -- the permanent-hook gate: disabled ProfileScope -----------------------
+  obs::set_profiling_enabled(false);
+  obs::ProfileSite& site = obs::profile_site("bench/disabled_site");
+  const double scope_off_ns = time_ns_per_op(
+      [&site](std::int64_t n) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          obs::ProfileScope scope(site);
+        }
+      },
+      hot_iters);
+  add_ns_row(rep, table, "obs/profile_scope_off", scope_off_ns, hot_iters);
+// Enforce the timing gate only in optimized, non-sanitized builds — the CI
+// sanitizer job runs this smoke too, where every scope pays redzone checks.
+// (NDEBUG is unreliable here: the project overrides CMAKE_CXX_FLAGS_RELEASE.)
+#if defined(__OPTIMIZE__) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_UNDEFINED__)
+  if (scope_off_ns >= 100.0) {
+    std::fprintf(stderr,
+                 "[bench_obs] FAIL: disabled ProfileScope costs %.1f ns/scope "
+                 "(gate: < 100 ns)\n",
+                 scope_off_ns);
+    ok = false;
+  }
+#else
+  std::fprintf(stderr,
+               "[bench_obs] note: unoptimized/sanitizer build — "
+               "profile_scope_off gate informational only (%.1f ns)\n",
+               scope_off_ns);
+#endif
+
+  // -- gemm profiling OFF vs ON A/B: wall time + bit identity ---------------
+  {
+    runtime::set_num_threads(1);
+    Rng rng(0x0b5e70b5u);
+    const Tensor a = randn({gm, gk}, rng);
+    const Tensor b = randn({gk, gn}, rng);
+    Tensor c_off({gm, gn});
+    Tensor c_on({gm, gn});
+
+    obs::set_profiling_enabled(false);
+    // Untimed warm-up so the off leg (timed first) isn't charged for cold
+    // caches and first-touch page faults.
+    gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+                GemmLayout::kRowMajor, c_off.data().data(), gm, gk, gn);
+    std::fill(c_off.data().begin(), c_off.data().end(), 0.0f);
+    const double t_off = time_best_ms(
+        [&] {
+          std::fill(c_off.data().begin(), c_off.data().end(), 0.0f);
+          gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+                      GemmLayout::kRowMajor, c_off.data().data(), gm, gk, gn);
+        },
+        gemm_reps);
+
+    obs::set_profiling_enabled(true);
+    obs::reset_profile();
+    const double t_on = time_best_ms(
+        [&] {
+          std::fill(c_on.data().begin(), c_on.data().end(), 0.0f);
+          gemm_packed(a.data().data(), GemmLayout::kRowMajor, b.data().data(),
+                      GemmLayout::kRowMajor, c_on.data().data(), gm, gk, gn);
+        },
+        gemm_reps);
+    obs::set_profiling_enabled(false);
+
+    const bool bits = tensor_bits_equal(c_off, c_on);
+    if (!bits) {
+      std::fprintf(stderr,
+                   "[bench_obs] FAIL: gemm output differs with profiling on "
+                   "— observation changed computation\n");
+      ok = false;
+    }
+
+    BenchRecord rec;
+    rec.kernel = "obs/gemm_profile_ab";
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
+                  static_cast<long long>(gm), static_cast<long long>(gk),
+                  static_cast<long long>(gn));
+    rec.shape = shape;
+    rec.ns_per_op = t_on * 1e6;           // profiled-run wall ns
+    rec.checksum = tensor_checksum(c_on);
+    rec.speedup_vs_naive = t_on > 0.0 ? t_off / t_on : 0.0;  // off/on ratio
+    rec.bit_identical = bits;
+    rec.extra = {{"off_ms", t_off}, {"on_ms", t_on}};
+    rep.add(rec);
+    std::printf("gemm %s  profiling off %.3f ms  on %.3f ms  (off/on %.3fx)  "
+                "bit_identical=%s\n",
+                shape, t_off, t_on, rec.speedup_vs_naive, bits ? "yes" : "NO");
+  }
+
+  table.print();
+  rep.write();
+  if (!ok) {
+    std::fprintf(stderr, "[bench_obs] GATE FAILURE\n");
+    return 1;
+  }
+  std::printf("bench_obs: all gates passed\n");
+  return 0;
+}

@@ -20,7 +20,13 @@
 // JSON rows (ibrar-bench-v1, default BENCH_pr5.json / IBRAR_BENCH_OUT):
 //   kernel "serve/serial|batched|telemetry", shape "clients=..,deadline_us=..,
 //   max_batch=..", ns_per_op = mean ns/request, checksum = p99 ms,
-//   speedup_vs_naive = throughput vs the serial row, bit_identical = gate.
+//   speedup_vs_naive = throughput vs the serial row, bit_identical = gate,
+//   plus per-configuration latency percentiles as extra fields
+//   p50_ms/p95_ms/p99_ms (client-observed, over the timed section only).
+//
+// Every timed configuration is preceded by an untimed warm-up pass through
+// the same server (first-touch page faults, pool spin-up, branch warm-up),
+// so the recorded percentiles measure steady state rather than start-up.
 
 #include <algorithm>
 #include <cstdio>
@@ -45,6 +51,7 @@ struct LoadResult {
   double seconds = 0.0;
   double throughput = 0.0;   ///< requests / s
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double accuracy = 0.0;     ///< argmax == label over the served set
   std::uint64_t max_batch_observed = 0;
@@ -53,12 +60,27 @@ struct LoadResult {
 /// Drive `clients` closed-loop client threads over the staged rows: client c
 /// owns requests c, c+clients, c+2*clients, ... and submits its next request
 /// the moment the previous reply lands. Optionally collects each request's
-/// logits into `logits_out` for the bit-identity gate.
+/// logits into `logits_out` for the bit-identity gate. A `warmup`-request
+/// untimed pass (same clients, same rows) runs first so the timed section
+/// measures steady state.
 LoadResult run_closed_loop(serve::Server& server, const data::Dataset& ds,
                            const std::vector<Tensor>& rows,
                            std::int64_t total_requests, std::int64_t clients,
-                           std::vector<Tensor>* logits_out = nullptr) {
+                           std::vector<Tensor>* logits_out = nullptr,
+                           std::int64_t warmup = 0) {
   const std::int64_t n = static_cast<std::int64_t>(rows.size());
+  if (warmup > 0) {
+    std::vector<std::thread> warm;
+    warm.reserve(static_cast<std::size_t>(clients));
+    for (std::int64_t c = 0; c < clients; ++c) {
+      warm.emplace_back([&, c] {
+        for (std::int64_t r = c; r < warmup; r += clients) {
+          server.submit(rows[static_cast<std::size_t>(r % n)]).get();
+        }
+      });
+    }
+    for (auto& t : warm) t.join();
+  }
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
   std::vector<std::int64_t> correct(static_cast<std::size_t>(clients), 0);
   std::vector<std::uint64_t> served(static_cast<std::size_t>(clients), 0);
@@ -103,6 +125,7 @@ LoadResult run_closed_loop(serve::Server& server, const data::Dataset& ds,
   }
   res.throughput = static_cast<double>(total_requests) / res.seconds;
   res.p50_ms = percentile(all, 0.50);
+  res.p95_ms = percentile(all, 0.95);
   res.p99_ms = percentile(all, 0.99);
   res.accuracy = ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok)
                         : 0.0;
@@ -122,6 +145,8 @@ void add_row(JsonReporter& rep, const std::string& kernel,
   rec.checksum = r.p99_ms;             // headline latency metric
   rec.speedup_vs_naive = speedup;
   rec.bit_identical = bit_identical;
+  rec.extra = {{"p50_ms", r.p50_ms}, {"p95_ms", r.p95_ms},
+               {"p99_ms", r.p99_ms}};
   rep.add(rec);
 }
 
@@ -144,6 +169,7 @@ int main(int argc, char** argv) {
   // keeps everything tiny so the CTest target runs in seconds.
   const std::int64_t test_size = smoke ? 64 : 256;
   const std::int64_t total = smoke ? 128 : 1024;
+  const std::int64_t warmup = smoke ? 16 : 64;
   const auto data = data::make_dataset("synth-cifar10", /*train=*/8, test_size);
   const auto rows = stage_rows(data.test);
   const Shape chw = {data.test.channels(), data.test.height(),
@@ -213,12 +239,12 @@ int main(int argc, char** argv) {
     {
       serve::Server server(registry, serial_cfg);
       serial = run_closed_loop(server, data.test, rows, total, /*clients=*/1,
-                               &serial_logits);
+                               &serial_logits, warmup);
     }
     std::printf("  %-7s serial batch=1                             : %9.1f "
-                "req/s  p50 %6.2f ms  p99 %6.2f ms  acc %.3f\n",
+                "req/s  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms  acc %.3f\n",
                 mut.label.c_str(), serial.throughput, serial.p50_ms,
-                serial.p99_ms, serial.accuracy);
+                serial.p95_ms, serial.p99_ms, serial.accuracy);
     add_row(reporter, "serve/" + mut.label + "/serial", "clients=1,max_batch=1",
             serial, 1.0, true);
 
@@ -233,7 +259,7 @@ int main(int argc, char** argv) {
       {
         serve::Server server(registry, cfg);
         r = run_closed_loop(server, data.test, rows, total, pt.clients,
-                            &logits);
+                            &logits, warmup);
       }
       // Bit-identity gate: every request must match the serial run exactly.
       bool bits_ok = logits.size() == serial_logits.size();
@@ -246,10 +272,11 @@ int main(int argc, char** argv) {
                                 ",max_batch=" + std::to_string(pt.max_batch) +
                                 ",deadline_us=" +
                                 std::to_string(pt.deadline_us);
-      std::printf("  %-7s batched %-34s: %9.1f req/s  p50 %6.2f ms  p99 %6.2f "
-                  "ms  acc %.3f  maxB %2llu  speedup %5.2fx  bits %s\n",
+      std::printf("  %-7s batched %-34s: %9.1f req/s  p50 %6.2f ms  p95 %6.2f "
+                  "ms  p99 %6.2f ms  acc %.3f  maxB %2llu  speedup %5.2fx  "
+                  "bits %s\n",
                   mut.label.c_str(), shape.c_str(), r.throughput, r.p50_ms,
-                  r.p99_ms, r.accuracy,
+                  r.p95_ms, r.p99_ms, r.accuracy,
                   static_cast<unsigned long long>(r.max_batch_observed),
                   speedup, bits_ok ? "OK" : "MISMATCH");
       add_row(reporter, "serve/" + mut.label + "/batched", shape, r, speedup,
@@ -279,7 +306,7 @@ int main(int argc, char** argv) {
     cfg.telemetry.window = 16;
     serve::Server server(telemetry_registry, cfg);
     const auto r = run_closed_loop(server, data.test, rows, total,
-                                   /*clients=*/8);
+                                   /*clients=*/8, nullptr, warmup);
     const auto stats = server.stats();
     std::printf("  telemetry every 8th : %9.1f req/s  p99 %6.2f ms  sampled "
                 "%llu  epochs %llu\n",

@@ -68,6 +68,10 @@ struct BenchRecord {
   double checksum = 0.0;
   double speedup_vs_naive = 0.0;  ///< 0 = not an A/B row
   bool bit_identical = true;      ///< vs the 1-thread / naive reference
+  /// Additional named numeric fields appended to the JSON object (e.g. the
+  /// serving benches' p50_ms/p95_ms/p99_ms latency percentiles). Additive
+  /// over the ibrar-bench-v1 schema — absent keys mean "not recorded".
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 class JsonReporter {
@@ -94,12 +98,17 @@ class JsonReporter {
           f,
           "%s\n  {\"kernel\": \"%s\", \"shape\": \"%s\", \"ns_per_op\": %s, "
           "\"gflops\": %s, \"threads\": %lld, \"checksum\": %s, "
-          "\"speedup_vs_naive\": %s, \"bit_identical\": %s}",
+          "\"speedup_vs_naive\": %s, \"bit_identical\": %s",
           i == 0 ? "" : ",", escape(r.kernel).c_str(), escape(r.shape).c_str(),
           num(r.ns_per_op, "%.1f").c_str(), num(r.gflops, "%.3f").c_str(),
           static_cast<long long>(r.threads), num(r.checksum, "%.9g").c_str(),
           num(r.speedup_vs_naive, "%.3f").c_str(),
           r.bit_identical ? "true" : "false");
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %s", escape(key).c_str(),
+                     num(value, "%.6g").c_str());
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");
     if (std::fclose(f) != 0) {

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -188,6 +189,8 @@ std::vector<std::int64_t> ActiveSet::retain(const std::vector<char>& keep) {
 Tensor run(models::TapClassifier& model, const Tensor& x,
            const std::vector<std::int64_t>& y, const AttackConfig& cfg,
            const Spec& spec, Rng& rng) {
+  static obs::ProfileSite& prof = obs::profile_site("attacks/engine.run");
+  obs::ProfileScope prof_scope(prof);
   if (x.rank() < 1 || x.dim(0) == 0) return x;
   const std::int64_t n = x.dim(0);
   if (y.size() != static_cast<std::size_t>(n)) {
@@ -276,6 +279,9 @@ Tensor run(models::TapClassifier& model, const Tensor& x,
     if (spec.step != Step::kSign) g_acc = Tensor(adv.shape());
 
     for (std::int64_t s = 0; s < cfg.steps; ++s) {
+      static obs::ProfileSite& step_prof =
+          obs::profile_site("attacks/engine.step");
+      obs::ProfileScope step_scope(step_prof);
       Tensor point = adv;
       if (spec.step == Step::kNesterovSign) {
         point = add(adv, mul_scalar(g_acc, alpha * spec.decay));

@@ -1,0 +1,23 @@
+#pragma once
+// The one monotonic clock helper for the whole stack.
+//
+// Every timing consumer — util::Stopwatch, obs::Span, the profiling hooks,
+// the serving runtime's queue/compute stamps — reads this same steady-clock
+// nanosecond counter, so timestamps from different subsystems are directly
+// comparable (a Span's begin_ns and a Request's enqueue_ns live on the same
+// axis, which is what lets the queue-wait span be reconstructed after the
+// fact in serve_batch).
+
+#include <chrono>
+#include <cstdint>
+
+namespace ibrar::obs {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ibrar::obs

@@ -1,0 +1,97 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "util/env.hpp"
+
+namespace ibrar::obs {
+namespace {
+
+std::atomic<bool>& profiling_flag() {
+  static std::atomic<bool> flag{env::get_int("IBRAR_OBS_PROFILE", 0) != 0};
+  return flag;
+}
+
+struct SiteRegistry {
+  std::mutex mu;
+  std::deque<ProfileSite> sites;  // deque: references stay stable on growth
+  std::map<std::string, ProfileSite*> by_name;
+};
+
+SiteRegistry& site_registry() {
+  static SiteRegistry* reg = new SiteRegistry();  // leaked: see trace.cpp
+  return *reg;
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  return profiling_flag().load(std::memory_order_relaxed);
+}
+
+void set_profiling_enabled(bool on) {
+  profiling_flag().store(on, std::memory_order_relaxed);
+}
+
+ProfileSite& profile_site(const char* name) {
+  SiteRegistry& reg = site_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.by_name.find(name);
+  if (it != reg.by_name.end()) return *it->second;
+  reg.sites.emplace_back(name);
+  ProfileSite& site = reg.sites.back();
+  reg.by_name.emplace(site.name, &site);
+  return site;
+}
+
+std::vector<ProfileEntry> profile_table() {
+  SiteRegistry& reg = site_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  std::vector<ProfileEntry> out;
+  for (const ProfileSite& site : reg.sites) {
+    ProfileEntry e;
+    e.name = site.name;
+    for (const auto& s : site.shards) {
+      e.calls += s.calls.load(std::memory_order_relaxed);
+      e.total_ns += s.ns.load(std::memory_order_relaxed);
+    }
+    if (e.calls > 0) out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return out;
+}
+
+void reset_profile() {
+  SiteRegistry& reg = site_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (ProfileSite& site : reg.sites) {
+    for (auto& s : site.shards) {
+      s.calls.store(0, std::memory_order_relaxed);
+      s.ns.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void print_profile_table(std::FILE* out) {
+  const auto table = profile_table();
+  std::fprintf(out, "-- kernel profile (IBRAR_OBS_PROFILE) --\n");
+  if (table.empty()) {
+    std::fprintf(out, "  (empty)\n");
+    return;
+  }
+  std::fprintf(out, "  %-32s %12s %14s %12s\n", "site", "calls", "total_ms",
+               "mean_us");
+  for (const auto& e : table) {
+    std::fprintf(out, "  %-32s %12llu %14.3f %12.3f\n", e.name.c_str(),
+                 static_cast<unsigned long long>(e.calls),
+                 static_cast<double>(e.total_ns) * 1e-6, e.mean_ns() * 1e-3);
+  }
+}
+
+}  // namespace ibrar::obs

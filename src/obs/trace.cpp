@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/env.hpp"
+
+namespace ibrar::obs {
+namespace {
+
+/// One thread's span storage: a fixed ring overwritten oldest-first. The
+/// owning thread writes under the ring mutex (uncontended except while a
+/// dump/clear walks the global list), so readers see complete records.
+struct Ring {
+  explicit Ring(std::size_t cap, std::uint32_t tid_) : tid(tid_) {
+    buf.resize(std::max<std::size_t>(cap, 16));
+  }
+  std::mutex mu;
+  std::vector<SpanRecord> buf;
+  std::size_t next = 0;       ///< insertion cursor
+  std::size_t filled = 0;     ///< records written, saturating at buf.size()
+  std::uint64_t dropped = 0;  ///< overwritten records
+  const std::uint32_t tid;
+};
+
+struct RingList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::atomic<std::uint32_t> next_tid{1};
+};
+
+RingList& ring_list() {
+  static RingList* list = new RingList();  // leaked: outlives exiting threads
+  return *list;
+}
+
+std::size_t ring_capacity() {
+  static const std::size_t cap = static_cast<std::size_t>(
+      std::max<long>(16, env::get_int("IBRAR_OBS_TRACE_CAP", 8192)));
+  return cap;
+}
+
+Ring& local_ring() {
+  thread_local const std::shared_ptr<Ring> ring = [] {
+    RingList& list = ring_list();
+    std::lock_guard<std::mutex> lk(list.mu);
+    auto r = std::make_shared<Ring>(
+        ring_capacity(), list.next_tid.fetch_add(1, std::memory_order_relaxed));
+    list.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::atomic<std::int64_t>& sample_every_flag() {
+  static std::atomic<std::int64_t> k{
+      env::get_int("IBRAR_OBS_TRACE_SAMPLE", 0)};
+  return k;
+}
+
+}  // namespace
+
+std::int64_t trace_sample_every() {
+  return sample_every_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_sample_every(std::int64_t k) {
+  sample_every_flag().store(std::max<std::int64_t>(k, 0),
+                            std::memory_order_relaxed);
+}
+
+void record_span(const char* name, std::int64_t begin_ns, std::int64_t end_ns,
+                 std::uint64_t corr) {
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lk(ring.mu);
+  SpanRecord& slot = ring.buf[ring.next];
+  if (ring.filled == ring.buf.size()) ++ring.dropped;
+  slot.name = name;
+  slot.begin_ns = begin_ns;
+  slot.end_ns = end_ns;
+  slot.tid = ring.tid;
+  slot.corr = corr;
+  ring.next = (ring.next + 1) % ring.buf.size();
+  ring.filled = std::min(ring.filled + 1, ring.buf.size());
+}
+
+std::vector<SpanRecord> trace_records() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> lk(list.mu);
+  std::vector<SpanRecord> out;
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> rk(ring->mu);
+    // Oldest-first: the ring cursor points at the oldest slot once full.
+    const std::size_t n = ring->filled;
+    const std::size_t start =
+        n == ring->buf.size() ? ring->next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring->buf[(start + i) % ring->buf.size()]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> lk(list.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> rk(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void clear_trace() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> lk(list.mu);
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> rk(ring->mu);
+    ring->next = 0;
+    ring->filled = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string trace_json() {
+  auto records = trace_records();
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    // Complete events ("ph":"X"): ts/dur in microseconds, fractional ns kept.
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"req\":%llu}}",
+                  i == 0 ? "" : ",", r.name != nullptr ? r.name : "?", r.tid,
+                  static_cast<double>(r.begin_ns) * 1e-3,
+                  static_cast<double>(r.end_ns - r.begin_ns) * 1e-3,
+                  static_cast<unsigned long long>(r.corr));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void dump_trace(const std::string& path) {
+  const std::string json = trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("obs::dump_trace: cannot open " + path);
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    throw std::runtime_error("obs::dump_trace: write failed for " + path);
+  }
+}
+
+}  // namespace ibrar::obs

@@ -1,0 +1,95 @@
+#pragma once
+// Request tracing: scoped spans into per-thread ring buffers, exportable as
+// chrome://tracing JSON.
+//
+// A Span records {static name, begin_ns, end_ns, small thread id, correlation
+// id} into the recording thread's ring buffer on destruction. Rings are
+// fixed-capacity (IBRAR_OBS_TRACE_CAP records per thread, default 8192) and
+// overwrite oldest-first, so tracing is O(1) per span and can stay on in a
+// long-lived server — dump_trace() exports the most recent window.
+//
+// Sampling: the serving runtime traces every Kth admitted request, K from
+// IBRAR_OBS_TRACE_SAMPLE (0 = tracing off, the default). A sampled request
+// contributes the five-stage lifecycle admission -> queue_wait ->
+// batch_assembly -> compute -> telemetry_rescore -> reply (telemetry_rescore
+// only when the request was also picked by the telemetry sampler). Spans that
+// are reconstructed after the fact (queue_wait is only known when the batch
+// assembles) go through record_span with explicit timestamps — every
+// timestamp is obs::now_ns(), so all spans share one time axis.
+//
+// dump_trace(path) writes Chrome Trace Event JSON: load it at
+// chrome://tracing or https://ui.perfetto.dev. Correlation ids land in
+// args.req so one request's spans can be followed across threads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace ibrar::obs {
+
+struct SpanRecord {
+  const char* name = nullptr;  ///< static-storage string (not owned)
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t tid = 0;       ///< small per-thread id, stable per thread
+  std::uint64_t corr = 0;      ///< correlation id (request index); 0 = none
+};
+
+/// K from IBRAR_OBS_TRACE_SAMPLE (cached on first call); 0 disables tracing.
+std::int64_t trace_sample_every();
+/// Programmatic override (tests / benches / CLI flags).
+void set_trace_sample_every(std::int64_t k);
+
+inline bool trace_enabled() { return trace_sample_every() > 0; }
+
+/// Cadence gate over an admission-sequence index: true for 0, K, 2K, ...
+inline bool trace_should_sample(std::uint64_t index) {
+  const std::int64_t k = trace_sample_every();
+  return k > 0 && index % static_cast<std::uint64_t>(k) == 0;
+}
+
+/// Append a completed span with explicit timestamps to the calling thread's
+/// ring. `name` must have static storage duration.
+void record_span(const char* name, std::int64_t begin_ns, std::int64_t end_ns,
+                 std::uint64_t corr = 0);
+
+/// RAII span: stamps begin at construction, records at destruction when
+/// `active`. Inactive spans skip the clock reads entirely.
+class Span {
+ public:
+  explicit Span(const char* name, bool active = trace_enabled(),
+                std::uint64_t corr = 0)
+      : name_(active ? name : nullptr),
+        corr_(corr),
+        begin_ns_(active ? now_ns() : 0) {}
+  ~Span() {
+    if (name_ != nullptr) record_span(name_, begin_ns_, now_ns(), corr_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t corr_;
+  std::int64_t begin_ns_;
+};
+
+/// Merged copy of every thread's ring, oldest-first per thread (no global
+/// ordering guarantee; sort by begin_ns if you need one).
+std::vector<SpanRecord> trace_records();
+
+/// Spans overwritten by ring wrap-around since the last clear_trace().
+std::uint64_t trace_dropped();
+
+/// Empty all rings (test isolation / between benchmark phases).
+void clear_trace();
+
+/// Chrome Trace Event JSON ({"traceEvents":[...]}) of trace_records().
+std::string trace_json();
+
+/// Write trace_json() to `path`; throws std::runtime_error on I/O failure.
+void dump_trace(const std::string& path);
+
+}  // namespace ibrar::obs

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ibrar::runtime {
@@ -55,6 +56,11 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   }
   const std::int64_t chunks =
       std::min<std::int64_t>(pool.lanes(), (n + g - 1) / g);
+  // Only the pool-dispatch branch is profiled: the serial/nested bail-outs
+  // above are the dominant small-op path and must stay hook-free.
+  static obs::ProfileSite& prof =
+      obs::profile_site("runtime/parallel_for.dispatch");
+  obs::ProfileScope prof_scope(prof);
   pool.run_chunked(begin, end, chunks,
                    std::function<void(std::int64_t, std::int64_t)>(
                        std::forward<F>(fn)));

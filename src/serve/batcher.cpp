@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/clock.hpp"
+
 namespace ibrar::serve {
 
 Batcher::Batcher(RequestQueue& queue, std::int64_t max_batch,
@@ -15,6 +17,7 @@ bool Batcher::next(MicroBatch& out) {
   out.requests.clear();
   Request first;
   if (queue_.pop(first) == PopStatus::kClosed) return false;
+  out.assemble_begin_ns = obs::now_ns();
   out.requests.push_back(std::move(first));
 
   // The deadline is anchored on the FIRST request of the batch: a request
@@ -33,6 +36,7 @@ bool Batcher::next(MicroBatch& out) {
       break;
     }
   }
+  out.assemble_end_ns = obs::now_ns();
   return true;
 }
 

@@ -24,9 +24,14 @@
 namespace ibrar::serve {
 
 /// One assembled micro-batch, ready for a single packed-GEMM forward.
+/// assemble_begin/end_ns bracket the collection window (first pop -> release)
+/// on the shared obs::now_ns() axis, so the server can emit batch_assembly
+/// and queue_wait trace spans after the fact.
 struct MicroBatch {
   std::vector<Request> requests;
   BatchTrigger trigger = BatchTrigger::kSize;
+  std::int64_t assemble_begin_ns = 0;
+  std::int64_t assemble_end_ns = 0;
   std::int64_t size() const {
     return static_cast<std::int64_t>(requests.size());
   }

@@ -1,23 +1,21 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "analysis/capture.hpp"
 #include "autograd/var.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "tensor/reduce.hpp"
 #include "util/env.hpp"
 
 namespace ibrar::serve {
 namespace {
 
-std::int64_t now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using obs::now_ns;
 
 void bump_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
   std::uint64_t cur = target.load(std::memory_order_relaxed);
@@ -46,7 +44,23 @@ Server::Server(ModelRegistry& registry, ServeConfig cfg)
         return cfg;
       }()),
       queue_(static_cast<std::size_t>(cfg_.queue_capacity)),
-      monitor_(cfg_.telemetry) {
+      monitor_(cfg_.telemetry),
+      c_accepted_(obs::registry().counter("serve.accepted")),
+      c_rejected_full_(obs::registry().counter("serve.rejected_full")),
+      c_rejected_shutdown_(obs::registry().counter("serve.rejected_shutdown")),
+      c_rejected_stale_(obs::registry().counter("serve.rejected_stale")),
+      c_served_(obs::registry().counter("serve.served")),
+      c_batches_(obs::registry().counter("serve.batches")),
+      c_size_triggers_(obs::registry().counter("serve.trigger.size")),
+      c_deadline_triggers_(obs::registry().counter("serve.trigger.deadline")),
+      c_drain_triggers_(obs::registry().counter("serve.trigger.drain")),
+      c_telemetry_samples_(obs::registry().counter("serve.telemetry.samples")),
+      g_queue_depth_(obs::registry().gauge("serve.queue_depth")),
+      g_batch_max_(obs::registry().gauge("serve.batch_max")),
+      h_queue_wait_ns_(obs::registry().histogram("serve.queue_wait_ns")),
+      h_compute_ns_(obs::registry().histogram("serve.compute_ns")),
+      h_batch_occupancy_(obs::registry().histogram("serve.batch_occupancy")),
+      h_suspicion_(obs::registry().histogram("serve.suspicion")) {
   if (!registry_.current()) {
     throw std::invalid_argument(
         "serve::Server: registry has no published model");
@@ -60,6 +74,7 @@ Server::Server(ModelRegistry& registry, ServeConfig cfg)
         "serve::Server: telemetry requires workers == 1 (the capture path "
         "is not safe against concurrent forwards on the shared snapshot)");
   }
+  base_ = read_totals();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (std::int64_t w = 0; w < cfg_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -79,6 +94,7 @@ void Server::shutdown() {
 }
 
 std::future<Reply> Server::submit(Tensor input) {
+  const std::int64_t t_submit = now_ns();
   const auto snap = registry_.current();
   // Accept (C, H, W) or (1, C, H, W); anything else is a caller bug, not
   // load, so it throws instead of consuming queue capacity.
@@ -97,16 +113,23 @@ std::future<Reply> Server::submit(Tensor input) {
   Request r;
   r.input = std::move(input);
   r.enqueue_ns = now_ns();
-  // r.index is assigned by the queue on admission, so the telemetry cadence
-  // is over accepted traffic (rejections never consume a sequence number).
+  // r.index is assigned by the queue on admission, so the telemetry and trace
+  // cadences are over accepted traffic (rejections never consume a sequence
+  // number).
   std::future<Reply> fut = r.promise.get_future();
 
   switch (queue_.push(r)) {
     case PushStatus::kAccepted:
-      accepted_.fetch_add(1, std::memory_order_relaxed);
+      c_accepted_.inc();
+      g_queue_depth_.set(static_cast<double>(queue_.size()));
+      // Scalar members survive the queue's move-from, so the admitted index
+      // is still readable here.
+      if (obs::trace_should_sample(r.index)) {
+        obs::record_span("admission", t_submit, now_ns(), r.index);
+      }
       break;
     case PushStatus::kFull: {
-      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      c_rejected_full_.inc();
       Reply reply;
       reply.status = ReplyStatus::kRejectedQueueFull;
       reply.model_version = snap->version;
@@ -114,7 +137,7 @@ std::future<Reply> Server::submit(Tensor input) {
       break;
     }
     case PushStatus::kClosed: {
-      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      c_rejected_shutdown_.inc();
       Reply reply;
       reply.status = ReplyStatus::kRejectedShutdown;
       reply.model_version = snap->version;
@@ -141,6 +164,7 @@ void Server::serve_batch(MicroBatch& batch) {
   // the registry pointer but cannot unload the model under us.
   const auto snap = registry_.current();
   const auto& chw = snap->input_shape;
+  g_queue_depth_.set(static_cast<double>(queue_.size()));
 
   // Requests were shape-validated at submit time against the snapshot live
   // THEN; a hot-swap to a different input layout can leave stale rows in the
@@ -156,13 +180,36 @@ void Server::serve_batch(MicroBatch& batch) {
       Reply reply;
       reply.status = ReplyStatus::kRejectedStaleShape;
       reply.model_version = snap->version;
-      rejected_stale_.fetch_add(1, std::memory_order_relaxed);
+      c_rejected_stale_.inc();
       req.promise.set_value(std::move(reply));
     }
   }
   if (live.empty()) return;
   const std::int64_t bsz = static_cast<std::int64_t>(live.size());
   const std::int64_t row = chw[0] * chw[1] * chw[2];
+
+  // One trace decision per batch: batch-level spans (batch_assembly,
+  // compute) are emitted when any rider is sampled, correlated to the first
+  // sampled rider's admission index.
+  bool traced_batch = false;
+  std::uint64_t trace_corr = 0;
+  for (const auto& req : live) {
+    if (obs::trace_should_sample(req.index)) {
+      traced_batch = true;
+      trace_corr = req.index;
+      break;
+    }
+  }
+  if (traced_batch) {
+    obs::record_span("batch_assembly", batch.assemble_begin_ns,
+                     batch.assemble_end_ns, trace_corr);
+    for (const auto& req : live) {
+      if (obs::trace_should_sample(req.index)) {
+        obs::record_span("queue_wait", req.enqueue_ns, batch.assemble_end_ns,
+                         req.index);
+      }
+    }
+  }
 
   const std::int64_t t0 = now_ns();
   Tensor x({bsz, chw[0], chw[1], chw[2]});
@@ -172,28 +219,43 @@ void Server::serve_batch(MicroBatch& batch) {
                 sizeof(float) * static_cast<std::size_t>(row));
   }
   const Tensor logits = snap->model->forward(ag::Var::constant(x)).value();
-  const std::int64_t compute_ns = now_ns() - t0;
+  const std::int64_t t1 = now_ns();
+  const std::int64_t compute_ns = t1 - t0;
+  if (traced_batch) obs::record_span("compute", t0, t1, trace_corr);
   const auto preds = argmax_rows(logits);
   const std::int64_t nc = logits.dim(1);
 
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  served_.fetch_add(static_cast<std::uint64_t>(bsz),
-                    std::memory_order_relaxed);
+  c_batches_.inc();
+  c_served_.inc(static_cast<std::uint64_t>(bsz));
+  h_compute_ns_.observe(static_cast<double>(compute_ns));
+  h_batch_occupancy_.observe(static_cast<double>(bsz));
   bump_max(max_batch_observed_, static_cast<std::uint64_t>(bsz));
+  g_batch_max_.set_max(static_cast<double>(bsz));
   switch (batch.trigger) {
     case BatchTrigger::kSize:
-      size_triggers_.fetch_add(1, std::memory_order_relaxed);
+      c_size_triggers_.inc();
       break;
     case BatchTrigger::kDeadline:
-      deadline_triggers_.fetch_add(1, std::memory_order_relaxed);
+      c_deadline_triggers_.inc();
       break;
     case BatchTrigger::kDrain:
-      drain_triggers_.fetch_add(1, std::memory_order_relaxed);
+      c_drain_triggers_.inc();
       break;
+  }
+  // Per-model-version attribution (counters created on first use; one
+  // registry lookup per batch, amortized across its rows).
+  {
+    const std::string prefix =
+        "serve.version." + std::to_string(snap->version);
+    obs::registry().counter(prefix + ".requests")
+        .inc(static_cast<std::uint64_t>(bsz));
+    obs::registry().counter(prefix + ".compute_ns")
+        .inc(static_cast<std::uint64_t>(compute_ns));
   }
 
   for (std::int64_t i = 0; i < bsz; ++i) {
     Request& req = live[static_cast<std::size_t>(i)];
+    const bool traced_req = traced_batch && obs::trace_should_sample(req.index);
     Reply reply;
     reply.status = ReplyStatus::kOk;
     reply.logits = Tensor({nc});
@@ -205,8 +267,10 @@ void Server::serve_batch(MicroBatch& batch) {
     reply.compute_ns = compute_ns;
     reply.batch_size = bsz;
     reply.trigger = batch.trigger;
+    h_queue_wait_ns_.observe(static_cast<double>(reply.queue_ns));
 
     if (monitor_.should_sample(req.index)) {
+      obs::Span rescore_span("telemetry_rescore", traced_req, req.index);
       // Tap capture rides the shared analysis sweep on a one-row dataset:
       // one extra forward per Kth request, amortized away by the cadence.
       data::Dataset one;
@@ -221,25 +285,46 @@ void Server::serve_batch(MicroBatch& batch) {
       reply.telemetry =
           monitor_.observe(dump.taps[0].data().data(), channels,
                            width / channels, reply.argmax, snap->num_classes);
-      telemetry_samples_.fetch_add(1, std::memory_order_relaxed);
+      c_telemetry_samples_.inc();
+      if (reply.telemetry.suspicion >= 0.0f) {
+        h_suspicion_.observe(static_cast<double>(reply.telemetry.suspicion));
+      }
     }
-    req.promise.set_value(std::move(reply));
+    {
+      obs::Span reply_span("reply", traced_req, req.index);
+      req.promise.set_value(std::move(reply));
+    }
   }
 }
 
-ServerStats Server::stats() const {
+ServerStats Server::read_totals() const {
   ServerStats s;
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
-  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-  s.rejected_stale = rejected_stale_.load(std::memory_order_relaxed);
-  s.served = served_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.size_triggers = size_triggers_.load(std::memory_order_relaxed);
-  s.deadline_triggers = deadline_triggers_.load(std::memory_order_relaxed);
-  s.drain_triggers = drain_triggers_.load(std::memory_order_relaxed);
+  s.accepted = c_accepted_.value();
+  s.rejected_full = c_rejected_full_.value();
+  s.rejected_shutdown = c_rejected_shutdown_.value();
+  s.rejected_stale = c_rejected_stale_.value();
+  s.served = c_served_.value();
+  s.batches = c_batches_.value();
+  s.size_triggers = c_size_triggers_.value();
+  s.deadline_triggers = c_deadline_triggers_.value();
+  s.drain_triggers = c_drain_triggers_.value();
+  s.telemetry_samples = c_telemetry_samples_.value();
+  return s;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s = read_totals();
+  s.accepted -= base_.accepted;
+  s.rejected_full -= base_.rejected_full;
+  s.rejected_shutdown -= base_.rejected_shutdown;
+  s.rejected_stale -= base_.rejected_stale;
+  s.served -= base_.served;
+  s.batches -= base_.batches;
+  s.size_triggers -= base_.size_triggers;
+  s.deadline_triggers -= base_.deadline_triggers;
+  s.drain_triggers -= base_.drain_triggers;
+  s.telemetry_samples -= base_.telemetry_samples;
   s.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
-  s.telemetry_samples = telemetry_samples_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -11,10 +11,23 @@
 // in-flight batches finish on the version they grabbed. Every Kth request
 // optionally flows through the robustness telemetry (serve/telemetry.hpp).
 //
+// Observability (src/obs): the server records into the process-global
+// obs::registry() — serve.* counters for admission/trigger/telemetry events,
+// serve.queue_depth / serve.batch_max gauges, and latency histograms
+// serve.queue_wait_ns / serve.compute_ns / serve.batch_occupancy /
+// serve.suspicion (full name table in README). Per model version it bumps
+// serve.version.<v>.requests and serve.version.<v>.compute_ns. When request
+// tracing is on (IBRAR_OBS_TRACE_SAMPLE=K), every Kth admitted request emits
+// the span chain admission -> queue_wait -> batch_assembly -> compute ->
+// telemetry_rescore -> reply, exportable via obs::dump_trace(). Observation
+// never changes computation: logits are bit-identical with every knob on or
+// off.
+//
 // Environment knobs (defaults in ServeConfig::from_env):
 //   IBRAR_SERVE_MAX_BATCH    micro-batch row cap            (default 8)
 //   IBRAR_SERVE_DEADLINE_US  batch assembly deadline, us    (default 2000)
 //   IBRAR_SERVE_QUEUE_CAP    admission queue capacity       (default 256)
+//   IBRAR_OBS_TRACE_SAMPLE   trace every Kth request        (default 0 = off)
 //
 // Shutdown is graceful: shutdown() (or the destructor) closes the queue, the
 // worker drains every already-accepted request, then exits. Submissions after
@@ -26,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
@@ -47,7 +61,13 @@ struct ServeConfig {
   static ServeConfig from_env();
 };
 
-/// Monotonic counters, readable at any time (approximate under concurrency).
+/// Per-server counter view. The underlying metrics live in the process-global
+/// obs::registry() (names in server.hpp's header comment); this struct is the
+/// compatibility shim — Server::stats() subtracts the construction-time
+/// baseline, so each Server still reports its own traffic even though the
+/// registry is cumulative across server instances. Each value is an exact
+/// merged read of its counter; values across fields are mutually consistent
+/// once the server is quiescent (drained or shut down).
 struct ServerStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected_full = 0;
@@ -87,6 +107,7 @@ class Server {
  private:
   void worker_loop();
   void serve_batch(MicroBatch& batch);
+  ServerStats read_totals() const;  ///< cumulative registry values
 
   ModelRegistry& registry_;
   ServeConfig cfg_;
@@ -95,17 +116,30 @@ class Server {
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> rejected_full_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
-  std::atomic<std::uint64_t> rejected_stale_{0};
-  std::atomic<std::uint64_t> served_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> size_triggers_{0};
-  std::atomic<std::uint64_t> deadline_triggers_{0};
-  std::atomic<std::uint64_t> drain_triggers_{0};
+  // Stable handles into obs::registry(), resolved once at construction so
+  // the serving hot path never takes the registry lock.
+  obs::Counter& c_accepted_;
+  obs::Counter& c_rejected_full_;
+  obs::Counter& c_rejected_shutdown_;
+  obs::Counter& c_rejected_stale_;
+  obs::Counter& c_served_;
+  obs::Counter& c_batches_;
+  obs::Counter& c_size_triggers_;
+  obs::Counter& c_deadline_triggers_;
+  obs::Counter& c_drain_triggers_;
+  obs::Counter& c_telemetry_samples_;
+  obs::Gauge& g_queue_depth_;
+  obs::Gauge& g_batch_max_;
+  obs::Histogram& h_queue_wait_ns_;
+  obs::Histogram& h_compute_ns_;
+  obs::Histogram& h_batch_occupancy_;
+  obs::Histogram& h_suspicion_;
+
+  /// Registry values at construction — the baseline stats() subtracts.
+  ServerStats base_;
+  /// Per-server high-water mark (a max cannot be delta'd out of the global
+  /// gauge, so it is tracked locally and mirrored into serve.batch_max).
   std::atomic<std::uint64_t> max_batch_observed_{0};
-  std::atomic<std::uint64_t> telemetry_samples_{0};
 };
 
 }  // namespace ibrar::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/profile.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/scratch_arena.hpp"
 
@@ -127,6 +128,8 @@ void gemm_naive(const float* a, GemmLayout la, const float* b, GemmLayout lb,
 
 void gemm_packed(const float* a, GemmLayout la, const float* b, GemmLayout lb,
                  float* c, std::int64_t m, std::int64_t k, std::int64_t n) {
+  static obs::ProfileSite& prof = obs::profile_site("tensor/gemm_packed");
+  obs::ProfileScope prof_scope(prof);
   if (m <= 0 || n <= 0 || k <= 0) return;
   if (m * k * n < kGemmSmallVolume) {
     // Packing overhead dominates down here; the naive chain is bit-identical

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/matmul.hpp"
 
@@ -14,6 +15,8 @@ std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel, std::int64_t str
 }
 
 Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
+  static obs::ProfileSite& prof = obs::profile_site("tensor/im2col");
+  obs::ProfileScope prof_scope(prof);
   if (x.rank() != 4) throw std::invalid_argument("im2col: x must be NCHW");
   const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const auto k = spec.kernel;
@@ -89,6 +92,8 @@ Tensor col2im(const Tensor& cols, const Shape& x_shape, const Conv2dSpec& spec) 
 
 Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor* bias,
               const Conv2dSpec& spec) {
+  static obs::ProfileSite& prof = obs::profile_site("tensor/conv2d");
+  obs::ProfileScope prof_scope(prof);
   if (x.rank() != 4 || w.rank() != 4) {
     throw std::invalid_argument("conv2d: x and w must be rank 4");
   }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/scratch_arena.hpp"
 #include "tensor/gemm_packed.hpp"
@@ -55,6 +56,8 @@ constexpr std::int64_t kSymBlock = 128;
 }  // namespace
 
 Tensor matmul_nt_sym(const Tensor& a) {
+  static obs::ProfileSite& prof = obs::profile_site("tensor/matmul_nt_sym");
+  obs::ProfileScope prof_scope(prof);
   if (a.rank() != 2) {
     throw std::invalid_argument("matmul_nt_sym: bad shape " +
                                 shape_str(a.shape()));

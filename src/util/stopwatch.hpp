@@ -1,30 +1,33 @@
 #pragma once
 // Wall-clock stopwatch for progress reporting in trainers and benches.
+//
+// Built on obs::now_ns(), the stack's single monotonic clock — Stopwatch
+// readings, obs::Span timestamps, and the serving runtime's queue/compute
+// stamps all share one time axis.
 
-#include <chrono>
+#include "obs/clock.hpp"
 
 namespace ibrar {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_ns_(obs::now_ns()) {}
 
   /// Restart and return elapsed seconds since construction / last reset.
   double reset() {
-    const auto now = clock::now();
-    const double s = std::chrono::duration<double>(now - start_).count();
-    start_ = now;
+    const std::int64_t now = obs::now_ns();
+    const double s = static_cast<double>(now - start_ns_) * 1e-9;
+    start_ns_ = now;
     return s;
   }
 
   /// Elapsed seconds without resetting.
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(obs::now_ns() - start_ns_) * 1e-9;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 }  // namespace ibrar

@@ -1,0 +1,405 @@
+// Observability layer: sharded-metric exactness, histogram percentile
+// bracketing vs a sorted reference, snapshot determinism, span
+// nesting/sampling, the observation-never-changes-computation bit-identity
+// contract, and the server's five-stage trace integration.
+//
+// Tracing and profiling flags are process-global; every test that flips one
+// restores it through ObsStateGuard so test order never matters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/random.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar {
+namespace {
+
+/// Restore global obs toggles (trace cadence, profiling flag, rings, sites)
+/// on scope exit.
+struct ObsStateGuard {
+  ObsStateGuard()
+      : saved_k_(obs::trace_sample_every()),
+        saved_prof_(obs::profiling_enabled()) {}
+  ~ObsStateGuard() {
+    obs::set_trace_sample_every(saved_k_);
+    obs::set_profiling_enabled(saved_prof_);
+    obs::clear_trace();
+    obs::reset_profile();
+  }
+  std::int64_t saved_k_;
+  bool saved_prof_;
+};
+
+// ---- metrics ----------------------------------------------------------------
+
+TEST(Metrics, ConcurrentCounterIncrementsSumExactly) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, GaugeSetMaxIsMonotone) {
+  obs::Gauge g;
+  g.set(3.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set(2.0);  // plain set may lower
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, HistogramPercentilesBracketSortedReference) {
+  // Log-uniform values across ~9 decades stress every bucket regime.
+  obs::Histogram h;
+  Rng rng(42);
+  std::vector<double> vals;
+  constexpr int kN = 20000;
+  vals.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double u = static_cast<double>(rng.uniform());  // [0, 1)
+    vals.push_back(std::pow(10.0, -2.0 + 9.0 * u));
+  }
+  for (double v : vals) h.observe(v);
+  std::sort(vals.begin(), vals.end());
+
+  const obs::HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, static_cast<std::uint64_t>(kN));
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(q * kN)));
+    const double truth = vals[rank - 1];
+    const double est = snap.percentile(q);
+    // Contract: estimate brackets the true order statistic from above,
+    // within one sub-bucket (12.5% relative width; epsilon for fp slack).
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(est, truth * 1.1251) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.max, vals.back());
+  EXPECT_LE(snap.percentile(1.0), vals.back() * (1.0 + 1e-12));
+}
+
+TEST(Metrics, HistogramSnapshotIsDeterministicOnceQuiescent) {
+  obs::Histogram h;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&h, t] {
+      for (int i = 0; i < 10000; ++i) {
+        h.observe(static_cast<double>((t * 10000 + i) % 977 + 1));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const obs::HistogramSnapshot a = h.snapshot();
+  const obs::HistogramSnapshot b = h.snapshot();  // merge-on-read, no writers
+  EXPECT_EQ(a.count, 40000u);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t n : a.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, a.count);  // every observation lands in one bucket
+}
+
+TEST(Metrics, RegistryHandlesAreStableAndSnapshotSeesThem) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c1 = reg.counter("test.requests");
+  obs::Counter& c2 = reg.counter("test.requests");
+  EXPECT_EQ(&c1, &c2);  // find-or-create returns the same metric
+  c1.inc(5);
+  reg.gauge("test.depth").set(3.0);
+  reg.histogram("test.lat").observe(4.0);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.count("test.requests"), 1u);
+  EXPECT_EQ(snap.counters.at("test.requests"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.depth"), 3.0);
+  EXPECT_EQ(snap.histograms.at("test.lat").count, 1u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"test.requests\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one JSON object, one line
+}
+
+// ---- tracing ----------------------------------------------------------------
+
+TEST(Trace, SamplingCadenceGatesByIndex) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(0);
+  EXPECT_FALSE(obs::trace_enabled());
+  EXPECT_FALSE(obs::trace_should_sample(0));
+  obs::set_trace_sample_every(3);
+  EXPECT_TRUE(obs::trace_should_sample(0));
+  EXPECT_FALSE(obs::trace_should_sample(1));
+  EXPECT_FALSE(obs::trace_should_sample(2));
+  EXPECT_TRUE(obs::trace_should_sample(3));
+  EXPECT_TRUE(obs::trace_should_sample(6));
+}
+
+TEST(Trace, InactiveSpansRecordNothing) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(0);
+  obs::clear_trace();
+  {
+    obs::Span s("invisible");  // default active = trace_enabled() = false
+  }
+  EXPECT_TRUE(obs::trace_records().empty());
+}
+
+TEST(Trace, NestedSpansRecordOrderedTimestamps) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(1);
+  obs::clear_trace();
+  {
+    obs::Span outer("outer", true, 7);
+    obs::Span inner("inner", true, 7);
+  }  // inner destructs first, then outer
+  const std::vector<obs::SpanRecord> recs = obs::trace_records();
+  ASSERT_EQ(recs.size(), 2u);
+  const obs::SpanRecord& inner = recs[0];  // recorded first
+  const obs::SpanRecord& outer = recs[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_LE(outer.begin_ns, inner.begin_ns);
+  EXPECT_LE(inner.begin_ns, inner.end_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  EXPECT_EQ(inner.corr, 7u);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST(Trace, JsonIsChromeTraceShaped) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(1);
+  obs::clear_trace();
+  obs::record_span("stage_a", 1000, 2500, 42);
+  obs::record_span("stage_b", 2500, 3000, 42);
+  const std::string json = obs::trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"req\":42"), std::string::npos);
+
+  const std::string path = "test_obs_trace.json";
+  obs::dump_trace(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 0);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// ---- profiling & the bit-identity contract ---------------------------------
+
+TEST(Profile, DisabledScopeRecordsNothingEnabledAggregates) {
+  ObsStateGuard guard;
+  obs::reset_profile();
+  obs::ProfileSite& site = obs::profile_site("test/obs_site");
+
+  obs::set_profiling_enabled(false);
+  {
+    obs::ProfileScope s(site);
+  }
+  for (const auto& e : obs::profile_table()) {
+    EXPECT_NE(e.name, "test/obs_site");
+  }
+
+  obs::set_profiling_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    obs::ProfileScope s(site);
+  }
+  bool found = false;
+  for (const auto& e : obs::profile_table()) {
+    if (e.name == "test/obs_site") {
+      found = true;
+      EXPECT_EQ(e.calls, 3u);
+      EXPECT_GE(e.total_ns, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::reset_profile();
+  for (const auto& e : obs::profile_table()) {
+    EXPECT_NE(e.name, "test/obs_site");
+  }
+}
+
+TEST(Profile, Conv2dIsBitIdenticalWithProfilingOn) {
+  ObsStateGuard guard;
+  Rng rng(7);
+  const Tensor x = randn({2, 3, 8, 8}, rng);
+  const Tensor w = randn({4, 3, 3, 3}, rng);
+  Conv2dSpec spec;
+
+  obs::set_profiling_enabled(false);
+  const Tensor off = conv2d(x, w, nullptr, spec);
+  obs::set_profiling_enabled(true);
+  const Tensor on = conv2d(x, w, nullptr, spec);
+
+  ASSERT_TRUE(off.same_shape(on));
+  EXPECT_EQ(std::memcmp(off.data().data(), on.data().data(),
+                        sizeof(float) * static_cast<std::size_t>(off.numel())),
+            0);
+  // The profiled run attributed time to the instrumented kernels.
+  std::set<std::string> names;
+  for (const auto& e : obs::profile_table()) names.insert(e.name);
+  EXPECT_TRUE(names.count("tensor/conv2d")) << "profile table missing conv2d";
+  EXPECT_TRUE(names.count("tensor/im2col"));
+}
+
+// ---- server integration -----------------------------------------------------
+
+constexpr std::int64_t kSize = 4;
+constexpr std::int64_t kChannels = 3;
+constexpr std::int64_t kClasses = 5;
+
+models::TapClassifierPtr tiny_model(std::uint64_t seed) {
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  spec.num_classes = kClasses;
+  spec.image_size = kSize;
+  spec.in_channels = kChannels;
+  Rng rng(seed);
+  return models::make_model(spec, rng);
+}
+
+Tensor sample_input(std::uint64_t seed) {
+  Rng rng(seed);
+  return rand_uniform({kChannels, kSize, kSize}, rng, 0.0f, 1.0f);
+}
+
+TEST(ServerObs, TracedRequestEmitsAllServingStageSpans) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(1);  // trace every request
+  obs::clear_trace();
+
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), {kChannels, kSize, kSize});
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_us = 500;
+  cfg.queue_capacity = 64;
+  cfg.telemetry.sample_every = 1;  // rescore everything -> span present
+  {
+    serve::Server server(reg, cfg);
+    std::vector<std::future<serve::Reply>> futs;
+    for (int i = 0; i < 6; ++i) futs.push_back(server.submit(sample_input(i)));
+    for (auto& f : futs) EXPECT_EQ(f.get().status, serve::ReplyStatus::kOk);
+    server.shutdown();
+  }
+
+  std::set<std::string> names;
+  for (const auto& r : obs::trace_records()) names.insert(r.name);
+  for (const char* stage : {"admission", "queue_wait", "batch_assembly",
+                            "compute", "telemetry_rescore", "reply"}) {
+    EXPECT_TRUE(names.count(stage)) << "missing span: " << stage;
+  }
+}
+
+TEST(ServerObs, StatsAreBaselineDeltaedPerServerInstance) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(0);
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), {kChannels, kSize, kSize});
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.deadline_us = 200;
+  cfg.queue_capacity = 64;
+
+  {
+    serve::Server a(reg, cfg);
+    for (int i = 0; i < 3; ++i) a.submit(sample_input(i)).get();
+    a.shutdown();
+    const serve::ServerStats sa = a.stats();
+    EXPECT_EQ(sa.accepted, 3u);
+    EXPECT_EQ(sa.served, 3u);
+  }
+  {
+    // The registry keeps cumulating, but a fresh server reports only its own
+    // traffic: the construction-time baseline is subtracted.
+    serve::Server b(reg, cfg);
+    for (int i = 0; i < 2; ++i) b.submit(sample_input(i)).get();
+    b.shutdown();
+    const serve::ServerStats sb = b.stats();
+    EXPECT_EQ(sb.accepted, 2u);
+    EXPECT_EQ(sb.served, 2u);
+    EXPECT_GE(sb.batches, 1u);
+    EXPECT_EQ(sb.size_triggers + sb.deadline_triggers + sb.drain_triggers,
+              sb.batches);
+  }
+  // The global registry saw both servers.
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  EXPECT_GE(snap.counters.at("serve.accepted"), 5u);
+}
+
+TEST(ServerObs, LogitsBitIdenticalWithEveryObservabilityKnobOn) {
+  // The full contract: tracing + profiling + telemetry all on must not
+  // change a single output bit vs everything off.
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(3), {kChannels, kSize, kSize});
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;  // singleton batches -> deterministic batching
+  cfg.deadline_us = 0;
+  cfg.queue_capacity = 64;
+
+  constexpr int kReqs = 4;
+  std::vector<Tensor> off_logits, on_logits;
+  {
+    ObsStateGuard guard;
+    obs::set_trace_sample_every(0);
+    obs::set_profiling_enabled(false);
+    serve::Server server(reg, cfg);
+    for (int i = 0; i < kReqs; ++i) {
+      off_logits.push_back(server.submit(sample_input(100 + i)).get().logits);
+    }
+  }
+  {
+    ObsStateGuard guard;
+    obs::set_trace_sample_every(1);
+    obs::set_profiling_enabled(true);
+    serve::ServeConfig cfg_on = cfg;
+    cfg_on.telemetry.sample_every = 1;
+    serve::Server server(reg, cfg_on);
+    for (int i = 0; i < kReqs; ++i) {
+      on_logits.push_back(server.submit(sample_input(100 + i)).get().logits);
+    }
+  }
+  for (int i = 0; i < kReqs; ++i) {
+    const Tensor& a = off_logits[static_cast<std::size_t>(i)];
+    const Tensor& b = on_logits[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(a.same_shape(b));
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          sizeof(float) * static_cast<std::size_t>(a.numel())),
+              0)
+        << "logits differ for request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ibrar

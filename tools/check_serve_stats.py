@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate the observability exports of an ibrar_serve run.
+
+Usage: check_serve_stats.py STATS_JSONL [TRACE_JSON]
+
+STATS_JSONL is the --stats-every stream: one JSON object per line, each the
+full metrics-registry snapshot ({"counters":{...},"gauges":{...},
+"histograms":{...}}). Checks:
+  * every line parses as JSON with the three sections;
+  * core serving counters grow monotonically across lines;
+  * the final (post-drain) snapshot has serve.accepted == serve.served > 0,
+    at least one batch, and a serve.compute_ns histogram whose percentiles
+    are ordered p50 <= p90 <= p99 <= max.
+
+TRACE_JSON (optional) is the --trace chrome://tracing dump. Checks it is
+valid JSON with a non-empty traceEvents list covering all six serving-stage
+spans (admission, queue_wait, batch_assembly, compute, telemetry_rescore,
+reply).
+
+Exit status: 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+CORE_COUNTERS = ["serve.accepted", "serve.served", "serve.batches"]
+STAGES = [
+    "admission",
+    "queue_wait",
+    "batch_assembly",
+    "compute",
+    "telemetry_rescore",
+    "reply",
+]
+
+
+def fail(msg):
+    print(f"check_serve_stats: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats(path):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        fail(f"{path} is empty")
+
+    snaps = []
+    for i, ln in enumerate(lines, 1):
+        try:
+            snap = json.loads(ln)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i} is not valid JSON: {e}")
+        for section in ("counters", "gauges", "histograms"):
+            if section not in snap:
+                fail(f"{path}:{i} missing section {section!r}")
+        snaps.append(snap)
+
+    for name in CORE_COUNTERS:
+        values = [s["counters"].get(name, 0) for s in snaps]
+        if any(b < a for a, b in zip(values, values[1:])):
+            fail(f"counter {name} is not monotone across snapshots: {values}")
+
+    final = snaps[-1]["counters"]
+    for name in CORE_COUNTERS:
+        if name not in final:
+            fail(f"final snapshot missing counter {name}")
+    if final["serve.served"] <= 0:
+        fail("no requests served")
+    if final["serve.accepted"] != final["serve.served"]:
+        fail(
+            f"drained server should have accepted == served, got "
+            f"{final['serve.accepted']} != {final['serve.served']}"
+        )
+    if final["serve.batches"] <= 0:
+        fail("no batches recorded")
+
+    hists = snaps[-1]["histograms"]
+    if "serve.compute_ns" not in hists:
+        fail("final snapshot missing serve.compute_ns histogram")
+    h = hists["serve.compute_ns"]
+    if h["count"] <= 0:
+        fail("serve.compute_ns histogram is empty")
+    if not (h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
+        fail(f"serve.compute_ns percentiles out of order: {h}")
+    print(
+        f"check_serve_stats: {len(snaps)} snapshots OK — "
+        f"served {final['serve.served']} in {final['serve.batches']} batches, "
+        f"compute p50 {h['p50'] / 1e6:.3f} ms / p99 {h['p99'] / 1e6:.3f} ms"
+    )
+
+
+def check_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path} has no traceEvents")
+    names = {e.get("name") for e in events}
+    missing = [s for s in STAGES if s not in names]
+    if missing:
+        fail(f"{path} missing serving-stage spans: {missing}")
+    print(f"check_serve_stats: trace OK — {len(events)} spans, all six stages")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_stats(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_trace(sys.argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,16 +13,28 @@
 //                   current weights are checkpointed to disk and republished
 //                   through publish_checkpoint (version 2) while clients keep
 //                   submitting — replies report which version served them;
-//   * --telemetry K sampling cadence (default 4; 0 disables).
+//   * --telemetry K sampling cadence (default 4; 0 disables);
+//   * --stats-every N emits one JSON-lines metric snapshot (the full
+//                   obs::registry() state: serve.* counters, gauges,
+//                   histogram percentiles) every N ms to --stats-out
+//                   (default serve_stats.jsonl), plus a final snapshot at
+//                   shutdown — the stream tools/check_serve_stats.py
+//                   validates in CI;
+//   * --trace FILE  dumps the request-trace ring buffers as chrome://tracing
+//                   JSON at exit (enables sampling at every 8th request if
+//                   IBRAR_OBS_TRACE_SAMPLE didn't already).
 //
 // Server shape comes from the standard env knobs: IBRAR_SERVE_MAX_BATCH,
-// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP. Results are printed and
-// recorded to an ibrar-bench-v1 JSON (--out, default SERVE.json).
+// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP; IBRAR_OBS_PROFILE=1 prints
+// the per-kernel profile table at exit. Results are printed and recorded to
+// an ibrar-bench-v1 JSON (--out, default SERVE.json).
 //
-//   ./ibrar_serve --model vgg16 --requests 2000 --clients 8 --adv 0.5 --swap
+//   ./ibrar_serve --model vgg16 --requests 2000 --clients 8 --adv 0.5
+//                 --swap --stats-every 250 --trace serve_trace.json
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -32,6 +44,9 @@
 
 #include "attacks/pgd.hpp"
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
@@ -60,6 +75,9 @@ int main(int argc, char** argv) {
   std::int64_t requests = 1000;
   std::int64_t clients = 8;
   std::int64_t telemetry_every = 4;
+  std::int64_t stats_every_ms = 0;
+  std::string stats_out = "serve_stats.jsonl";
+  std::string trace_path;
   double adv_fraction = 0.0;
   bool swap_mid_run = false;
   for (int i = 1; i < argc; ++i) {
@@ -79,13 +97,20 @@ int main(int argc, char** argv) {
     else if (arg == "--adv") adv_fraction = std::stod(next());
     else if (arg == "--swap") swap_mid_run = true;
     else if (arg == "--out") out_path = next();
+    else if (arg == "--stats-every") stats_every_ms = std::stoll(next());
+    else if (arg == "--stats-out") stats_out = next();
+    else if (arg == "--trace") trace_path = next();
     else {
       std::fprintf(stderr,
                    "usage: ibrar_serve [--dataset D] [--model M] [--requests N]"
                    " [--clients C] [--telemetry K] [--adv FRACTION] [--swap]"
-                   " [--out FILE]\n");
+                   " [--out FILE] [--stats-every MS] [--stats-out FILE]"
+                   " [--trace FILE]\n");
       return arg == "--help" ? 0 : 2;
     }
+  }
+  if (!trace_path.empty() && !obs::trace_enabled()) {
+    obs::set_trace_sample_every(8);  // --trace implies sampling
   }
 
   print_header("ibrar_serve: micro-batching inference server demo");
@@ -154,6 +179,30 @@ int main(int argc, char** argv) {
               static_cast<long long>(requests),
               static_cast<long long>(telemetry_every));
 
+  // Periodic JSON-lines metric snapshots: one obs::registry() dump per line.
+  // The emitter owns the file until it is joined; main appends the final
+  // snapshot after shutdown so the last line always reflects the drained
+  // server (>= 1 line even when the run finishes inside the first period).
+  std::FILE* stats_f = nullptr;
+  std::atomic<bool> stats_stop{false};
+  std::thread stats_thread;
+  if (stats_every_ms > 0) {
+    stats_f = std::fopen(stats_out.c_str(), "w");
+    if (stats_f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", stats_out.c_str());
+      return 2;
+    }
+    stats_thread = std::thread([&] {
+      while (!stats_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stats_every_ms));
+        if (stats_stop.load()) break;
+        const std::string line = obs::registry().snapshot().to_json();
+        std::fprintf(stats_f, "%s\n", line.c_str());
+        std::fflush(stats_f);
+      }
+    });
+  }
+
   std::mutex agg_mu;
   SuspicionStat clean_susp, adv_susp;
   std::vector<std::uint64_t> version_counts(8, 0);
@@ -209,6 +258,21 @@ int main(int argc, char** argv) {
   const double seconds = wall.seconds();
   server.shutdown();
   if (swapped.load()) std::remove(ckpt_path.c_str());
+  if (stats_f != nullptr) {
+    stats_stop.store(true);
+    stats_thread.join();
+    const std::string line = obs::registry().snapshot().to_json();
+    std::fprintf(stats_f, "%s\n", line.c_str());
+    std::fclose(stats_f);
+    std::fprintf(stderr, "[serve] metric snapshots -> %s\n",
+                 stats_out.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::dump_trace(trace_path);
+    std::fprintf(stderr, "[serve] request trace (%zu spans) -> %s\n",
+                 obs::trace_records().size(), trace_path.c_str());
+  }
+  if (obs::profiling_enabled()) obs::print_profile_table(stdout);
 
   // ---- summary --------------------------------------------------------------
   auto pct = [&](double q) { return percentile(latencies_ms, q); };
