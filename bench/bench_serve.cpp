@@ -1,45 +1,59 @@
-// bench_serve — closed-loop load generator for the inference serving runtime.
+// bench_serve — closed- and open-loop load generators for the serving stack.
 //
-// Sweeps offered load (concurrent closed-loop clients) x batch deadline over
+// Closed loop: sweeps concurrent closed-loop clients x batch deadline over
 // the dynamic micro-batching server and A/Bs it against batch=1 serial
-// serving, recording throughput and p50/p99 latency per configuration plus
-// two hard gates:
+// serving, then scales worker threads (workers = 1/2/4, telemetry ON — the
+// combination the const-forward refactor made legal). Open loop: Poisson
+// arrivals at a fixed offered rate through the TCP front-end (serve/net),
+// the latency-under-load methodology closed-loop clients cannot provide
+// (they self-throttle, hiding queueing delay). Hard gates:
 //
-//   * bit-identity: every request's logits through the batched server are
-//     memcmp-equal to the batch=1 server's logits for the same input (the
-//     determinism contract of serve/batcher.hpp);
+//   * bit-identity: every request's logits through the batched server — any
+//     worker count, telemetry on or off — are memcmp-equal to the batch=1
+//     server's logits for the same input (the determinism contract of
+//     serve/batcher.hpp and serve/model_registry.hpp);
 //   * backpressure contract: under a flood into a tiny queue, rejects carry
 //     kRejectedQueueFull, every accepted request is served, and
-//     accepted + rejected == offered.
+//     accepted + rejected == offered;
+//   * open-loop accounting: every sent request gets exactly one reply
+//     (served or rejected-with-status) through the socket.
 //
-// Either gate failing exits nonzero (this is the bench_serve_smoke CTest
+// Any gate failing exits nonzero (this is the bench_serve_smoke CTest
 // target in --smoke mode). Argmax accuracy over a labeled test set is
 // recorded for both modes; bit-identity makes them equal by construction,
 // and the gate checks it anyway.
 //
-// JSON rows (ibrar-bench-v1, default BENCH_pr5.json / IBRAR_BENCH_OUT):
-//   kernel "serve/serial|batched|telemetry", shape "clients=..,deadline_us=..,
-//   max_batch=..", ns_per_op = mean ns/request, checksum = p99 ms,
-//   speedup_vs_naive = throughput vs the serial row, bit_identical = gate,
-//   plus per-configuration latency percentiles as extra fields
-//   p50_ms/p95_ms/p99_ms (client-observed, over the timed section only).
+// JSON rows (ibrar-bench-v1, default BENCH_pr7.json / IBRAR_BENCH_OUT):
+//   kernel "serve/serial|batched|workers|telemetry|openloop", shape
+//   "clients=..,deadline_us=..,max_batch=..[,workers=..|offered_rps=..]",
+//   ns_per_op = mean ns/request, checksum = p99 ms, speedup_vs_naive =
+//   throughput vs the serial row, bit_identical = gate, plus latency
+//   percentiles as extra fields p50_ms/p95_ms/p99_ms (client-observed,
+//   timed section only; open-loop rows also carry offered_rps/achieved_rps).
+//   Open-loop latencies additionally stream into the process-global
+//   obs::registry() histogram serve.openloop.latency_ns.
 //
 // Every timed configuration is preceded by an untimed warm-up pass through
 // the same server (first-touch page faults, pool spin-up, branch warm-up),
 // so the recorded percentiles measure steady state rather than start-up.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "models/mlp.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/listener.hpp"
 #include "serve/server.hpp"
 
 using namespace ibrar;
@@ -150,6 +164,93 @@ void add_row(JsonReporter& rep, const std::string& kernel,
   rep.add(rec);
 }
 
+struct OpenLoopResult {
+  double offered_rps = 0.0;   ///< target Poisson arrival rate
+  double achieved_rps = 0.0;  ///< replies per wall second actually observed
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  bool accounted = false;  ///< every sent request got exactly one reply
+};
+
+/// Open-loop (Poisson) load through the TCP front-end: the sender fires
+/// requests at exponential inter-arrival times REGARDLESS of how fast
+/// replies come back — the defining property open-loop has and closed-loop
+/// lacks (a closed-loop client stalls with the server, so measured latency
+/// under saturation stays flat instead of exploding). A receiver thread
+/// drains replies off the same pipelined connection and stamps per-request
+/// latency by correlation id. Arrival times are pre-drawn from a fixed seed,
+/// so two runs at the same rate offer identical traffic.
+OpenLoopResult run_open_loop(std::uint16_t port, const std::vector<Tensor>& rows,
+                             double offered_rps, std::int64_t total) {
+  using clock = std::chrono::steady_clock;
+  serve::net::Client client("127.0.0.1", port);
+  const std::int64_t n = static_cast<std::int64_t>(rows.size());
+
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull);
+  std::exponential_distribution<double> gap(offered_rps);
+  std::vector<double> arrival_s(static_cast<std::size_t>(total));
+  double t = 0.0;
+  for (auto& a : arrival_s) {
+    t += gap(rng);
+    a = t;
+  }
+
+  std::vector<clock::time_point> sent_at(static_cast<std::size_t>(total));
+  OpenLoopResult res;
+  res.offered_rps = offered_rps;
+  res.sent = static_cast<std::uint64_t>(total);
+
+  auto& h_latency = obs::registry().histogram("serve.openloop.latency_ns");
+  std::vector<double> lat_ms;
+  lat_ms.reserve(static_cast<std::size_t>(total));
+  clock::time_point last_reply{};
+  std::thread receiver([&] {
+    for (std::int64_t i = 0; i < total; ++i) {
+      const auto reply = client.recv();
+      const auto now = clock::now();
+      last_reply = now;
+      if (reply.id >= static_cast<std::uint64_t>(total)) return;  // corrupt
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - sent_at[static_cast<std::size_t>(reply.id)])
+              .count());
+      if (reply.ok()) {
+        ++res.ok;
+        lat_ms.push_back(ns / 1e6);
+        h_latency.observe(ns);
+      } else {
+        ++res.rejected;
+      }
+    }
+  });
+
+  const auto start = clock::now();
+  for (std::int64_t i = 0; i < total; ++i) {
+    const auto due =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(
+                        arrival_s[static_cast<std::size_t>(i)]));
+    std::this_thread::sleep_until(due);  // pace the offered load, not the RTT
+    sent_at[static_cast<std::size_t>(i)] = clock::now();
+    client.send(rows[static_cast<std::size_t>(i % n)]);
+  }
+  receiver.join();
+
+  const double wall =
+      std::chrono::duration<double>(last_reply - start).count();
+  res.achieved_rps =
+      wall > 0.0 ? static_cast<double>(res.ok + res.rejected) / wall : 0.0;
+  res.p50_ms = percentile(lat_ms, 0.50);
+  res.p95_ms = percentile(lat_ms, 0.95);
+  res.p99_ms = percentile(lat_ms, 0.99);
+  res.accounted = res.ok + res.rejected == res.sent;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,7 +263,7 @@ int main(int argc, char** argv) {
 
   JsonReporter reporter(
       env::get_string("IBRAR_BENCH_OUT",
-                      smoke ? "BENCH_smoke_serve.json" : "BENCH_pr5.json"));
+                      smoke ? "BENCH_smoke_serve.json" : "BENCH_pr7.json"));
 
   // Untrained-but-published weights are fine for a serving perf A/B; accuracy
   // equality between modes is what matters, not its absolute level. Smoke
@@ -294,6 +395,54 @@ int main(int argc, char** argv) {
         ++failures;
       }
     }
+
+    // ---- multi-worker scaling, telemetry ON --------------------------------
+    // The combination the const-forward refactor legalized: several worker
+    // threads share one immutable snapshot while the telemetry path runs
+    // concurrent tap captures on it. The gate is the same as above — every
+    // request's logits memcmp-equal to the batch=1 single-worker run.
+    const std::vector<std::int64_t> worker_counts =
+        smoke ? std::vector<std::int64_t>{2} : std::vector<std::int64_t>{1, 2, 4};
+    for (const auto workers : worker_counts) {
+      serve::ServeConfig cfg;
+      cfg.max_batch = 8;
+      cfg.deadline_us = 2000;
+      cfg.queue_capacity = 2048;
+      cfg.workers = workers;
+      cfg.telemetry.sample_every = 8;
+      cfg.telemetry.window = 16;
+      std::vector<Tensor> logits;
+      LoadResult r;
+      {
+        serve::Server server(registry, cfg);
+        r = run_closed_loop(server, data.test, rows, total,
+                            /*clients=*/smoke ? 8 : 16, &logits, warmup);
+      }
+      bool bits_ok = logits.size() == serial_logits.size();
+      for (std::size_t i = 0; bits_ok && i < logits.size(); ++i) {
+        bits_ok = tensor_bits_equal(logits[i], serial_logits[i]);
+      }
+      const double speedup = r.throughput / serial.throughput;
+      const std::string shape =
+          "workers=" + std::to_string(workers) +
+          ",clients=" + std::to_string(smoke ? 8 : 16) +
+          ",max_batch=8,deadline_us=2000,telemetry_every=8";
+      std::printf("  %-7s workers=%lld telemetry on               : %9.1f "
+                  "req/s  p50 %6.2f ms  p99 %6.2f ms  speedup %5.2fx  bits "
+                  "%s\n",
+                  mut.label.c_str(), static_cast<long long>(workers),
+                  r.throughput, r.p50_ms, r.p99_ms, speedup,
+                  bits_ok ? "OK" : "MISMATCH");
+      add_row(reporter, "serve/" + mut.label + "/workers", shape, r, speedup,
+              bits_ok);
+      if (!bits_ok) {
+        std::fprintf(stderr,
+                     "FAIL: %s workers=%lld telemetry-on logits differ from "
+                     "batch=1 single-worker\n",
+                     mut.label.c_str(), static_cast<long long>(workers));
+        ++failures;
+      }
+    }
   }
 
   // ---- telemetry overhead row ----------------------------------------------
@@ -364,6 +513,66 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: backpressure contract violated\n");
       ++failures;
     }
+  }
+
+  // ---- open-loop Poisson load through the TCP front-end --------------------
+  // Offered rates are fractions of the measured closed-loop capacity, so the
+  // sweep lands at comparable utilization on any machine. The low-rate rows
+  // read near-pure service latency; the high-rate row shows queueing delay —
+  // the tail a closed-loop client can never expose.
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.deadline_us = 2000;
+    cfg.queue_capacity = 2048;
+    cfg.workers = smoke ? 2 : 4;
+    cfg.telemetry.sample_every = 8;
+    cfg.telemetry.window = 16;
+    serve::Server server(telemetry_registry, cfg);
+    serve::net::TcpFrontend frontend(server);
+    // Closed-loop capacity probe on this exact server (also the warm-up).
+    const auto probe = run_closed_loop(server, data.test, rows,
+                                       smoke ? 64 : 256, /*clients=*/8);
+    const std::vector<double> utilization =
+        smoke ? std::vector<double>{0.3} : std::vector<double>{0.25, 0.5, 0.8};
+    for (const auto u : utilization) {
+      const double offered = std::max(u * probe.throughput, 50.0);
+      const std::int64_t n_requests = smoke ? 64 : 512;
+      const auto r = run_open_loop(frontend.port(), rows, offered, n_requests);
+      std::printf("  openloop %4.0f%% cap  : offered %8.1f req/s  achieved "
+                  "%8.1f  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms  ok %llu  "
+                  "rej %llu  %s\n",
+                  u * 100.0, r.offered_rps, r.achieved_rps, r.p50_ms, r.p95_ms,
+                  r.p99_ms, static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.rejected),
+                  r.accounted ? "accounted" : "LOST REPLIES");
+      BenchRecord rec;
+      rec.kernel = "serve/openloop";
+      rec.shape = "offered_rps=" + std::to_string(static_cast<long long>(
+                      offered)) +
+                  ",workers=" + std::to_string(cfg.workers) +
+                  ",max_batch=8,deadline_us=2000";
+      rec.ns_per_op = r.achieved_rps > 0.0 ? 1e9 / r.achieved_rps : 0.0;
+      rec.threads = runtime::num_threads();
+      rec.checksum = r.p99_ms;
+      rec.bit_identical = r.accounted;
+      rec.extra = {{"p50_ms", r.p50_ms},
+                   {"p95_ms", r.p95_ms},
+                   {"p99_ms", r.p99_ms},
+                   {"offered_rps", r.offered_rps},
+                   {"achieved_rps", r.achieved_rps}};
+      reporter.add(rec);
+      if (!r.accounted) {
+        std::fprintf(stderr,
+                     "FAIL: open-loop at %.1f req/s lost replies "
+                     "(sent %llu, ok %llu, rejected %llu)\n",
+                     offered, static_cast<unsigned long long>(r.sent),
+                     static_cast<unsigned long long>(r.ok),
+                     static_cast<unsigned long long>(r.rejected));
+        ++failures;
+      }
+    }
+    frontend.stop();
   }
 
   reporter.write();

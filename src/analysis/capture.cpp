@@ -10,24 +10,6 @@
 namespace ibrar::analysis {
 namespace {
 
-/// Restores the model's training mode on scope exit, so a throwing forward
-/// (or a tap-consistency check) cannot leave a training-time caller — e.g.
-/// the fig5 batch hook — silently stuck in eval mode.
-class TrainingModeGuard {
- public:
-  explicit TrainingModeGuard(models::TapClassifier& model)
-      : model_(model), was_training_(model.training()) {
-    model_.set_training(false);
-  }
-  ~TrainingModeGuard() { model_.set_training(was_training_); }
-  TrainingModeGuard(const TrainingModeGuard&) = delete;
-  TrainingModeGuard& operator=(const TrainingModeGuard&) = delete;
-
- private:
-  models::TapClassifier& model_;
-  bool was_training_;
-};
-
 /// Copy the rows of `src` (any rank, axis 0 = batch) into rows [row0, ...)
 /// of the preallocated flat (n, d) matrix `dst`.
 void copy_rows_flat(Tensor& dst, std::int64_t row0, const Tensor& src) {
@@ -42,8 +24,9 @@ void copy_rows_flat(Tensor& dst, std::int64_t row0, const Tensor& src) {
 
 }  // namespace
 
-TapDump capture_taps(models::TapClassifier& model, const data::Dataset& ds,
-                     std::int64_t max_samples, std::int64_t batch,
+TapDump capture_taps(const models::TapClassifier& model,
+                     const data::Dataset& ds, std::int64_t max_samples,
+                     std::int64_t batch,
                      const std::vector<std::size_t>& tap_indices) {
   const std::int64_t n =
       max_samples > 0 ? std::min(max_samples, ds.size()) : ds.size();
@@ -68,13 +51,14 @@ TapDump capture_taps(models::TapClassifier& model, const data::Dataset& ds,
   dump.labels.assign(ds.labels.begin(), ds.labels.begin() + n);
   dump.preds.resize(static_cast<std::size_t>(n));
 
+  // The const eval forward computes eval semantics regardless of the model's
+  // training flag — no mode guard needed, and nothing to restore on a throw.
   ag::NoGradGuard ng;
-  TrainingModeGuard mode(model);
   std::int64_t correct = 0;
   for (std::int64_t b = 0; b < n; b += batch) {
     const std::int64_t e = std::min(n, b + batch);
     const auto chunk = data::make_batch(ds, b, e);
-    auto out = model.forward_with_taps(ag::Var::constant(chunk.x));
+    auto out = model.eval_forward_with_taps(ag::Var::constant(chunk.x));
     if (out.taps.size() != all_names.size()) {
       throw std::runtime_error("capture_taps: tap count does not match tap_names");
     }

@@ -31,16 +31,23 @@ struct TapDump {
 };
 
 /// Capture taps for (at most `max_samples` of, <= 0 = all) `ds`, batched by
-/// `batch`. The model is put in eval mode for the sweep and restored to its
-/// previous mode afterwards. Deterministic: batches walk the dataset in
-/// order, so two captures of the same model/dataset are bit-identical.
+/// `batch`. The sweep rides the model's strictly-const eval forward
+/// (TapClassifier::eval_forward_with_taps), so it always computes eval
+/// semantics WITHOUT touching the model: no train/eval mode flip, no RNG
+/// draws, no buffer writes. A training-time caller (e.g. the fig5 batch hook)
+/// keeps its training flag untouched, and any number of captures can run
+/// concurrently with each other and with serving forwards on one shared
+/// model — the contract the multi-worker telemetry path relies on.
+/// Deterministic: batches walk the dataset in order, so two captures of the
+/// same model/dataset are bit-identical.
 ///
 /// A non-empty `tap_indices` keeps only those taps (dump.tap_names/taps/
 /// tap_shapes are then aligned to the selection, in the given order) — the
 /// cheap form for callers like the Fig. 5 recording hook that probe one
 /// layer per training batch and should not copy every tap.
-TapDump capture_taps(models::TapClassifier& model, const data::Dataset& ds,
-                     std::int64_t max_samples = -1, std::int64_t batch = 100,
+TapDump capture_taps(const models::TapClassifier& model,
+                     const data::Dataset& ds, std::int64_t max_samples = -1,
+                     std::int64_t batch = 100,
                      const std::vector<std::size_t>& tap_indices = {});
 
 }  // namespace ibrar::analysis

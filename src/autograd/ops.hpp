@@ -72,6 +72,15 @@ Var batch_norm2d(const Var& x, const Var& gamma, const Var& beta,
                  Tensor& running_mean, Tensor& running_var, bool training,
                  float momentum = 0.1f, float eps = 1e-5f);
 
+/// Strictly-const eval-mode batch norm: reads the frozen running stats and
+/// never writes them. Shares the normalize/backward body with batch_norm2d,
+/// so the result is bit-identical to batch_norm2d(..., training=false, ...).
+/// This is what lets a published ModelSnapshot's forward be const-qualified
+/// and therefore safe under concurrent serving workers.
+Var batch_norm2d_eval(const Var& x, const Var& gamma, const Var& beta,
+                      const Tensor& running_mean, const Tensor& running_var,
+                      float eps = 1e-5f);
+
 /// Inverted dropout; identity when !training or p == 0.
 Var dropout(const Var& x, float p, bool training, Rng& rng);
 

@@ -6,40 +6,18 @@
 
 namespace ibrar::ag {
 
-Var batch_norm2d(const Var& x, const Var& gamma, const Var& beta,
-                 Tensor& running_mean, Tensor& running_var, bool training,
-                 float momentum, float eps) {
+namespace {
+
+/// Shared normalize + autograd tail of batch norm, applied to per-channel
+/// moments computed by either entry point. Keeping one body is what makes
+/// batch_norm2d_eval bit-identical to batch_norm2d with training=false.
+Var batch_norm2d_apply(const Var& x, const Var& gamma, const Var& beta,
+                       const Tensor& mean_c, const Tensor& var_c,
+                       bool training, float eps) {
   const Tensor& xv = x.value();
-  if (xv.rank() != 4) throw std::invalid_argument("batch_norm2d: NCHW only");
   const auto nN = xv.dim(0), c = xv.dim(1), h = xv.dim(2), w = xv.dim(3);
   const std::int64_t per_channel = nN * h * w;
   const auto spatial = h * w;
-
-  Tensor mean_c({c});
-  Tensor var_c({c});
-  if (training) {
-    const float* px = xv.data().data();
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      double s = 0.0, s2 = 0.0;
-      for (std::int64_t in_n = 0; in_n < nN; ++in_n) {
-        const float* plane = px + (in_n * c + ic) * spatial;
-        for (std::int64_t k = 0; k < spatial; ++k) {
-          s += plane[k];
-          s2 += double(plane[k]) * plane[k];
-        }
-      }
-      const double mu = s / per_channel;
-      mean_c[ic] = static_cast<float>(mu);
-      var_c[ic] = static_cast<float>(std::max(0.0, s2 / per_channel - mu * mu));
-    }
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      running_mean[ic] = (1 - momentum) * running_mean[ic] + momentum * mean_c[ic];
-      running_var[ic] = (1 - momentum) * running_var[ic] + momentum * var_c[ic];
-    }
-  } else {
-    mean_c = running_mean;
-    var_c = running_var;
-  }
 
   Tensor inv_std({c});
   for (std::int64_t ic = 0; ic < c; ++ic) {
@@ -119,6 +97,55 @@ Var batch_norm2d(const Var& x, const Var& gamma, const Var& beta,
       n.parents[0]->accumulate(gx);
     }
   });
+}
+
+}  // namespace
+
+Var batch_norm2d(const Var& x, const Var& gamma, const Var& beta,
+                 Tensor& running_mean, Tensor& running_var, bool training,
+                 float momentum, float eps) {
+  const Tensor& xv = x.value();
+  if (xv.rank() != 4) throw std::invalid_argument("batch_norm2d: NCHW only");
+  const auto nN = xv.dim(0), c = xv.dim(1), h = xv.dim(2), w = xv.dim(3);
+  const std::int64_t per_channel = nN * h * w;
+  const auto spatial = h * w;
+
+  Tensor mean_c({c});
+  Tensor var_c({c});
+  if (training) {
+    const float* px = xv.data().data();
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      double s = 0.0, s2 = 0.0;
+      for (std::int64_t in_n = 0; in_n < nN; ++in_n) {
+        const float* plane = px + (in_n * c + ic) * spatial;
+        for (std::int64_t k = 0; k < spatial; ++k) {
+          s += plane[k];
+          s2 += double(plane[k]) * plane[k];
+        }
+      }
+      const double mu = s / per_channel;
+      mean_c[ic] = static_cast<float>(mu);
+      var_c[ic] = static_cast<float>(std::max(0.0, s2 / per_channel - mu * mu));
+    }
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      running_mean[ic] = (1 - momentum) * running_mean[ic] + momentum * mean_c[ic];
+      running_var[ic] = (1 - momentum) * running_var[ic] + momentum * var_c[ic];
+    }
+  } else {
+    mean_c = running_mean;
+    var_c = running_var;
+  }
+  return batch_norm2d_apply(x, gamma, beta, mean_c, var_c, training, eps);
+}
+
+Var batch_norm2d_eval(const Var& x, const Var& gamma, const Var& beta,
+                      const Tensor& running_mean, const Tensor& running_var,
+                      float eps) {
+  if (x.value().rank() != 4) {
+    throw std::invalid_argument("batch_norm2d_eval: NCHW only");
+  }
+  return batch_norm2d_apply(x, gamma, beta, running_mean, running_var,
+                            /*training=*/false, eps);
 }
 
 Var dropout(const Var& x, float p, bool training, Rng& rng) {

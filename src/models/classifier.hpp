@@ -24,6 +24,15 @@ class TapClassifier : public nn::Module {
   /// Forward pass collecting the tapped intermediate activations.
   virtual TapsOutput forward_with_taps(const ag::Var& x) = 0;
 
+  /// Strictly-const eval-semantics tapped forward: no train/eval mode reads
+  /// or flips, no RNG draws (dropout identity, no VIB noise), batch norm on
+  /// frozen running stats. Bit-identical to forward_with_taps() on a model in
+  /// eval mode, and safe to call concurrently from any number of threads on a
+  /// shared immutable model — the contract the serving ModelSnapshot and the
+  /// telemetry tap capture rely on. Graph-building still follows the ambient
+  /// grad mode, so gradient attacks can differentiate through it.
+  virtual TapsOutput eval_forward_with_taps(const ag::Var& x) const = 0;
+
   /// Names of tap points, e.g. {"conv_block1", ..., "fc1", "fc2"}.
   virtual const std::vector<std::string>& tap_names() const = 0;
 
@@ -34,6 +43,10 @@ class TapClassifier : public nn::Module {
 
   ag::Var forward(const ag::Var& x) override {
     return forward_with_taps(x).logits;
+  }
+
+  ag::Var eval_forward(const ag::Var& x) const override {
+    return eval_forward_with_taps(x).logits;
   }
 
   /// Install the Eq. (3) binary mask over last-conv channels (empty = off).

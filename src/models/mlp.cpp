@@ -16,6 +16,9 @@ MLP::MLP(const MLPConfig& cfg, Rng& rng) : cfg_(cfg) {
 }
 
 TapsOutput MLP::forward_with_taps(const ag::Var& x) {
+  // Eval mode has no mode-dependent ops left; route through the const path so
+  // train/eval consistency is structural rather than maintained by hand.
+  if (!training()) return eval_forward_with_taps(x);
   TapsOutput out;
   // Accept image tensors too: flatten anything beyond rank 2.
   ag::Var h = x.shape().size() > 2 ? ag::flatten2d(x) : x;
@@ -30,6 +33,20 @@ TapsOutput MLP::forward_with_taps(const ag::Var& x) {
     out.taps.push_back(h);
   }
   out.logits = head_->forward(h);
+  return out;
+}
+
+TapsOutput MLP::eval_forward_with_taps(const ag::Var& x) const {
+  TapsOutput out;
+  ag::Var h = x.shape().size() > 2 ? ag::flatten2d(x) : x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = ag::relu(layers_[i]->eval_forward(h));
+    if (i + 1 == layers_.size() && mask_.numel() > 0 && mask_.rank() == 1) {
+      h = ag::mul(h, ag::Var::constant(mask_.reshape({1, mask_.numel()})));
+    }
+    out.taps.push_back(h);
+  }
+  out.logits = head_->eval_forward(h);
   return out;
 }
 

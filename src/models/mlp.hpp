@@ -17,6 +17,7 @@ class MLP : public TapClassifier {
   MLP(const MLPConfig& cfg, Rng& rng);
 
   TapsOutput forward_with_taps(const ag::Var& x) override;
+  TapsOutput eval_forward_with_taps(const ag::Var& x) const override;
   const std::vector<std::string>& tap_names() const override { return tap_names_; }
   /// MLP has no conv layer; the mask concept maps onto the last hidden layer.
   std::int64_t last_conv_channels() const override { return cfg_.hidden.back(); }

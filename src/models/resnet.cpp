@@ -32,6 +32,13 @@ ag::Var BasicBlock::forward(const ag::Var& x) {
   return ag::relu(ag::add(h, skip));
 }
 
+ag::Var BasicBlock::eval_forward(const ag::Var& x) const {
+  ag::Var h = ag::relu(bn1_->eval_forward(conv1_->eval_forward(x)));
+  h = bn2_->eval_forward(conv2_->eval_forward(h));
+  ag::Var skip = proj_ ? proj_bn_->eval_forward(proj_->eval_forward(x)) : x;
+  return ag::relu(ag::add(h, skip));
+}
+
 MiniResNet::MiniResNet(const ResNetConfig& cfg, Rng& rng) : cfg_(cfg) {
   if (cfg_.channels.size() != 4) {
     throw std::invalid_argument("MiniResNet: exactly 4 stages");
@@ -65,6 +72,7 @@ MiniResNet::MiniResNet(const ResNetConfig& cfg, Rng& rng) : cfg_(cfg) {
 }
 
 TapsOutput MiniResNet::forward_with_taps(const ag::Var& x) {
+  if (!training()) return eval_forward_with_taps(x);
   TapsOutput out;
   ag::Var h = ag::relu(stem_bn_->forward(stem_->forward(x)));
   for (std::size_t s = 0; s < stages_.size(); ++s) {
@@ -76,6 +84,20 @@ TapsOutput MiniResNet::forward_with_taps(const ag::Var& x) {
   h = maybe_noise(h);
   out.taps.push_back(h);  // gap features
   out.logits = head_->forward(h);
+  return out;
+}
+
+TapsOutput MiniResNet::eval_forward_with_taps(const ag::Var& x) const {
+  TapsOutput out;
+  ag::Var h = ag::relu(stem_bn_->eval_forward(stem_->eval_forward(x)));
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    h = stages_[s]->eval_forward(h);
+    if (s == 3) h = apply_channel_mask(h);
+    out.taps.push_back(h);
+  }
+  h = ag::global_avg_pool(h);
+  out.taps.push_back(h);  // gap features
+  out.logits = head_->eval_forward(h);
   return out;
 }
 

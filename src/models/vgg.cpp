@@ -70,6 +70,7 @@ MiniVGG::MiniVGG(const VGGConfig& cfg, Rng& rng) : cfg_(cfg) {
 }
 
 TapsOutput MiniVGG::forward_with_taps(const ag::Var& x) {
+  if (!training()) return eval_forward_with_taps(x);
   TapsOutput out;
   ag::Var h = x;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
@@ -86,6 +87,23 @@ TapsOutput MiniVGG::forward_with_taps(const ag::Var& x) {
   h = maybe_noise(h);
   out.taps.push_back(h);  // fc2
   out.logits = head_->forward(h);
+  return out;
+}
+
+TapsOutput MiniVGG::eval_forward_with_taps(const ag::Var& x) const {
+  TapsOutput out;
+  ag::Var h = x;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    h = blocks_[b]->eval_forward(h);
+    if (b == 4) h = apply_channel_mask(h);  // Eq. (3): mask last conv output
+    out.taps.push_back(h);
+  }
+  h = ag::flatten2d(h);
+  h = ag::relu(fc1_->eval_forward(h));  // dropout is identity in eval
+  out.taps.push_back(h);                // fc1
+  h = ag::relu(fc2_->eval_forward(h));
+  out.taps.push_back(h);                // fc2
+  out.logits = head_->eval_forward(h);
   return out;
 }
 

@@ -27,6 +27,7 @@ class MiniVGG : public TapClassifier {
   MiniVGG(const VGGConfig& cfg, Rng& rng);
 
   TapsOutput forward_with_taps(const ag::Var& x) override;
+  TapsOutput eval_forward_with_taps(const ag::Var& x) const override;
   const std::vector<std::string>& tap_names() const override { return tap_names_; }
   std::int64_t last_conv_channels() const override { return cfg_.channels.back(); }
   std::int64_t num_classes() const override { return cfg_.num_classes; }

@@ -30,6 +30,14 @@ ag::Var PreActBlock::forward(const ag::Var& x) {
   return ag::add(h, skip);
 }
 
+ag::Var PreActBlock::eval_forward(const ag::Var& x) const {
+  ag::Var pre = ag::relu(bn1_->eval_forward(x));
+  ag::Var h = conv1_->eval_forward(pre);
+  h = conv2_->eval_forward(ag::relu(bn2_->eval_forward(h)));
+  ag::Var skip = proj_ ? proj_->eval_forward(pre) : x;
+  return ag::add(h, skip);
+}
+
 MiniWRN::MiniWRN(const WRNConfig& cfg, Rng& rng) : cfg_(cfg) {
   widths_ = {cfg_.base_width * cfg_.widen, cfg_.base_width * cfg_.widen * 2,
              cfg_.base_width * cfg_.widen * 4};
@@ -60,6 +68,7 @@ MiniWRN::MiniWRN(const WRNConfig& cfg, Rng& rng) : cfg_(cfg) {
 }
 
 TapsOutput MiniWRN::forward_with_taps(const ag::Var& x) {
+  if (!training()) return eval_forward_with_taps(x);
   TapsOutput out;
   ag::Var h = stem_->forward(x);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
@@ -74,6 +83,23 @@ TapsOutput MiniWRN::forward_with_taps(const ag::Var& x) {
   h = maybe_noise(h);
   out.taps.push_back(h);
   out.logits = head_->forward(h);
+  return out;
+}
+
+TapsOutput MiniWRN::eval_forward_with_taps(const ag::Var& x) const {
+  TapsOutput out;
+  ag::Var h = stem_->eval_forward(x);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    h = groups_[g]->eval_forward(h);
+    if (g == 2) {
+      h = ag::relu(final_bn_->eval_forward(h));
+      h = apply_channel_mask(h);
+    }
+    out.taps.push_back(h);
+  }
+  h = ag::global_avg_pool(h);
+  out.taps.push_back(h);
+  out.logits = head_->eval_forward(h);
   return out;
 }
 

@@ -19,6 +19,7 @@ struct WRNConfig {
 class PreActBlock : public nn::Module {
  public:
   PreActBlock(std::int64_t in_c, std::int64_t out_c, std::int64_t stride, Rng& rng);
+  ag::Var eval_forward(const ag::Var& x) const override;
   ag::Var forward(const ag::Var& x) override;
 
  private:
@@ -34,6 +35,7 @@ class MiniWRN : public TapClassifier {
   MiniWRN(const WRNConfig& cfg, Rng& rng);
 
   TapsOutput forward_with_taps(const ag::Var& x) override;
+  TapsOutput eval_forward_with_taps(const ag::Var& x) const override;
   const std::vector<std::string>& tap_names() const override { return tap_names_; }
   std::int64_t last_conv_channels() const override { return widths_.back(); }
   std::int64_t num_classes() const override { return cfg_.num_classes; }

@@ -17,6 +17,7 @@ class Linear : public Module {
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
          bool bias = true);
   ag::Var forward(const ag::Var& x) override;
+  ag::Var eval_forward(const ag::Var& x) const override;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
@@ -34,6 +35,7 @@ class Conv2d : public Module {
   Conv2d(std::int64_t in_channels, std::int64_t out_channels, Rng& rng,
          Conv2dSpec spec = {}, bool bias = true);
   ag::Var forward(const ag::Var& x) override;
+  ag::Var eval_forward(const ag::Var& x) const override;
 
   std::int64_t in_channels() const { return in_; }
   std::int64_t out_channels() const { return out_; }
@@ -53,6 +55,8 @@ class BatchNorm2d : public Module {
   explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
                        float eps = 1e-5f);
   ag::Var forward(const ag::Var& x) override;
+  /// Reads the frozen running stats; never writes them (batch_norm2d_eval).
+  ag::Var eval_forward(const ag::Var& x) const override;
 
  private:
   std::int64_t channels_;
@@ -67,6 +71,7 @@ class BatchNorm2d : public Module {
 class ReLU : public Module {
  public:
   ag::Var forward(const ag::Var& x) override { return ag::relu(x); }
+  ag::Var eval_forward(const ag::Var& x) const override { return ag::relu(x); }
 };
 
 class MaxPool2d : public Module {
@@ -74,6 +79,9 @@ class MaxPool2d : public Module {
   explicit MaxPool2d(std::int64_t kernel = 2, std::int64_t stride = -1)
       : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
   ag::Var forward(const ag::Var& x) override {
+    return ag::maxpool2d(x, kernel_, stride_);
+  }
+  ag::Var eval_forward(const ag::Var& x) const override {
     return ag::maxpool2d(x, kernel_, stride_);
   }
 
@@ -87,6 +95,8 @@ class Dropout : public Module {
  public:
   explicit Dropout(float p, std::uint64_t seed = 0xd0u);
   ag::Var forward(const ag::Var& x) override;
+  /// Eval-mode dropout is the identity — no mask draw, rng untouched.
+  ag::Var eval_forward(const ag::Var& x) const override { return x; }
 
  private:
   float p_;
@@ -97,6 +107,9 @@ class Dropout : public Module {
 class Flatten : public Module {
  public:
   ag::Var forward(const ag::Var& x) override { return ag::flatten2d(x); }
+  ag::Var eval_forward(const ag::Var& x) const override {
+    return ag::flatten2d(x);
+  }
 };
 
 /// Ordered container applying children in sequence.
@@ -107,6 +120,7 @@ class Sequential : public Module {
 
   void push_back(ModulePtr m);
   ag::Var forward(const ag::Var& x) override;
+  ag::Var eval_forward(const ag::Var& x) const override;
 
   std::size_t size() const { return seq_.size(); }
   Module& at(std::size_t i) { return *seq_.at(i); }

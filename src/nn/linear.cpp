@@ -26,4 +26,10 @@ ag::Var Linear::forward(const ag::Var& x) {
   return y;
 }
 
+ag::Var Linear::eval_forward(const ag::Var& x) const {
+  ag::Var y = ag::matmul(x, weight_);
+  if (bias_.defined()) y = ag::add(y, bias_);
+  return y;
+}
+
 }  // namespace ibrar::nn

@@ -7,6 +7,7 @@
 // checkpoints but not in the optimizer.
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,19 @@ class Module {
 
   /// Forward pass (graph-building when grads are enabled).
   virtual ag::Var forward(const ag::Var& x) = 0;
+
+  /// Strictly-const eval-semantics forward: batch norm reads frozen running
+  /// stats, dropout is identity, no RNG draws, no buffer writes — regardless
+  /// of the training/eval flag, which it never reads or flips. Bit-identical
+  /// to forward() on a module in eval mode. This is the path concurrent
+  /// serving workers share one immutable model through; every concrete layer
+  /// overrides it. Graph-building still follows the ambient grad mode, so
+  /// attacks can differentiate through it.
+  virtual ag::Var eval_forward(const ag::Var& x) const {
+    (void)x;
+    throw std::logic_error(
+        "Module::eval_forward: this module has no const eval path");
+  }
 
   ag::Var operator()(const ag::Var& x) { return forward(x); }
 

@@ -21,4 +21,9 @@ ag::Var BatchNorm2d::forward(const ag::Var& x) {
                           training(), momentum_, eps_);
 }
 
+ag::Var BatchNorm2d::eval_forward(const ag::Var& x) const {
+  return ag::batch_norm2d_eval(x, gamma_, beta_, running_mean_, running_var_,
+                               eps_);
+}
+
 }  // namespace ibrar::nn

@@ -17,4 +17,10 @@ ag::Var Sequential::forward(const ag::Var& x) {
   return h;
 }
 
+ag::Var Sequential::eval_forward(const ag::Var& x) const {
+  ag::Var h = x;
+  for (const auto& m : seq_) h = m->eval_forward(h);
+  return h;
+}
+
 }  // namespace ibrar::nn

@@ -10,11 +10,15 @@
 // versions finish serving the batches that already grabbed them — the
 // classic read-copy-update shape of hot-swappable servers.
 //
-// Snapshots are treated as immutable: publish() puts the model into eval
-// mode once, and nothing on the serving path mutates parameters or buffers
-// afterwards. Hot reload from disk goes through publish_checkpoint, which
-// rebuilds the architecture from a ModelSpec and loads util/serialize
-// checkpoint bytes into it before the swap.
+// Snapshots are immutable BY TYPE: publish() puts the model into eval mode
+// once and then hands it over as shared_ptr<const TapClassifier>, so the only
+// forward available to holders is the strictly-const eval path
+// (eval_forward / eval_forward_with_taps — no mode flips, no RNG draws, no
+// buffer writes). That is what makes one snapshot safe to share across any
+// number of serving workers and concurrent telemetry captures. Hot reload
+// from disk goes through publish_checkpoint, which rebuilds the architecture
+// from a ModelSpec and loads util/serialize checkpoint bytes into it before
+// the swap.
 
 #include <atomic>
 #include <cstdint>
@@ -25,13 +29,21 @@
 
 namespace ibrar::serve {
 
-/// One immutable published model version.
+/// One immutable published model version. The const element type means every
+/// forward through a snapshot is the strictly-const eval path — enforced at
+/// compile time, not by convention.
 struct ModelSnapshot {
-  models::TapClassifierPtr model;  ///< eval mode; do not mutate
+  std::shared_ptr<const models::TapClassifier> model;  ///< eval mode, immutable
   std::uint64_t version = 0;       ///< monotonically increasing from 1
   std::string tag;                 ///< human label ("v2-finetuned", path, ...)
   Shape input_shape;               ///< per-sample (C, H, W) the model expects
   std::int64_t num_classes = 0;
+
+  /// Batched eval forward: (N, C, H, W) -> (N, num_classes) logits. Const
+  /// through and through; safe to call from any number of threads at once.
+  Tensor forward(const Tensor& x) const {
+    return model->eval_forward(ag::Var::constant(x)).value();
+  }
 };
 
 class ModelRegistry {

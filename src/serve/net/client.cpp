@@ -1,0 +1,62 @@
+#include "serve/net/client.hpp"
+
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ibrar::serve::net {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("net::Client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("net::Client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("net::Client: connect(" + host + ":" +
+                             std::to_string(port) + ") failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t Client::send(const Tensor& input) {
+  SubmitFrame f;
+  f.id = next_id_++;
+  f.input = input;
+  if (!write_frame(fd_, encode_submit(f))) {
+    throw std::runtime_error("net::Client: connection lost on send");
+  }
+  return f.id;
+}
+
+ReplyFrame Client::recv() {
+  if (!read_frame(fd_, recv_buf_)) {
+    throw std::runtime_error("net::Client: connection closed by server");
+  }
+  return decode_reply(recv_buf_.data(), recv_buf_.size());
+}
+
+ReplyFrame Client::submit(const Tensor& input) {
+  const std::uint64_t id = send(input);
+  ReplyFrame f = recv();
+  if (f.id != id) {
+    throw std::runtime_error("net::Client: reply id mismatch");
+  }
+  return f;
+}
+
+}  // namespace ibrar::serve::net

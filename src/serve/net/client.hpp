@@ -1,0 +1,55 @@
+#pragma once
+// Client helper for the TCP serving front-end: framing + correlation ids over
+// one connection.
+//
+// Two usage shapes:
+//  * submit(): one blocking round-trip — send a sample, wait for its reply.
+//    The closed-loop shape CLI probes and tests want.
+//  * send()/recv(): pipelined — keep many requests in flight on the one
+//    connection. The front-end replies in submission order; recv() returns
+//    the next reply with its echoed correlation id, so an open-loop load
+//    generator can run a sender thread and a receiver thread concurrently
+//    (send() and recv() touch disjoint socket directions and are safe to
+//    call from two threads; neither is safe to call from two threads at
+//    once).
+//
+// Any torn connection (server gone, protocol violation) surfaces as
+// std::runtime_error — a load generator treats that as fatal, a CLI prints
+// and exits.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net/wire.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ibrar::serve::net {
+
+class Client {
+ public:
+  /// Connect to host:port (TCP_NODELAY on). Throws std::runtime_error when
+  /// the connection cannot be established.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Pipelined send of one (C, H, W) sample; returns the correlation id the
+  /// reply will echo. Throws on a torn connection.
+  std::uint64_t send(const Tensor& input);
+
+  /// Next reply off the socket (submission order). Throws on EOF or a
+  /// malformed frame.
+  ReplyFrame recv();
+
+  /// One blocking round-trip (send + recv with no other requests in flight).
+  ReplyFrame submit(const Tensor& input);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 0;
+  std::vector<std::uint8_t> recv_buf_;
+};
+
+}  // namespace ibrar::serve::net

@@ -1,9 +1,11 @@
 #pragma once
-// Bounded MPSC admission queue: the front door of the serving runtime.
+// Bounded MPMC admission queue: the front door of the serving runtime.
 //
 // Producers (client threads calling Server::submit) push under a mutex;
-// the single consumer side (the batcher on a worker thread) pops with plain
-// and deadline-bounded waits. Admission control is non-blocking by design:
+// consumers (one Batcher per serving worker — any number of them, all
+// sharing this queue) pop with plain and deadline-bounded waits under the
+// same mutex, so the queue is safely multi-producer AND multi-consumer.
+// Admission control is non-blocking by design:
 // a full queue rejects immediately (PushStatus::kFull) instead of stalling
 // the caller — the server turns that into a reject-with-status reply, which
 // is the backpressure contract load generators and upstreams can key off.

@@ -31,6 +31,7 @@ ServeConfig ServeConfig::from_env() {
   cfg.max_batch = env::get_int("IBRAR_SERVE_MAX_BATCH", 8);
   cfg.deadline_us = env::get_int("IBRAR_SERVE_DEADLINE_US", 2000);
   cfg.queue_capacity = env::get_int("IBRAR_SERVE_QUEUE_CAP", 256);
+  cfg.workers = env::get_int("IBRAR_SERVE_WORKERS", 1);
   return cfg;
 }
 
@@ -65,15 +66,9 @@ Server::Server(ModelRegistry& registry, ServeConfig cfg)
     throw std::invalid_argument(
         "serve::Server: registry has no published model");
   }
-  if (cfg_.workers > 1 && monitor_.enabled()) {
-    // The telemetry capture path toggles the shared snapshot's train/eval
-    // flag (analysis::capture_taps' mode guard), which races a concurrent
-    // worker's forward. Until snapshots grow a const-forward path (see
-    // ROADMAP), the combination is rejected rather than silently unsafe.
-    throw std::invalid_argument(
-        "serve::Server: telemetry requires workers == 1 (the capture path "
-        "is not safe against concurrent forwards on the shared snapshot)");
-  }
+  // Any workers/telemetry combination is safe: snapshots are
+  // shared_ptr<const TapClassifier>, so both the serving forward and the
+  // telemetry tap capture can only take the strictly-const eval path.
   base_ = read_totals();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (std::int64_t w = 0; w < cfg_.workers; ++w) {
@@ -91,6 +86,9 @@ void Server::shutdown() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // The workers have drained every accepted request; pin the gauge to the
+  // true (empty) depth so dashboards never show a stale residue after stop.
+  g_queue_depth_.set(0.0);
 }
 
 std::future<Reply> Server::submit(Tensor input) {
@@ -130,6 +128,10 @@ std::future<Reply> Server::submit(Tensor input) {
       break;
     case PushStatus::kFull: {
       c_rejected_full_.inc();
+      // Refresh the depth gauge on rejection too: under sustained overload
+      // every push can be rejected, and the gauge would otherwise freeze at
+      // whatever the last accepted push recorded.
+      g_queue_depth_.set(static_cast<double>(queue_.size()));
       Reply reply;
       reply.status = ReplyStatus::kRejectedQueueFull;
       reply.model_version = snap->version;
@@ -138,6 +140,7 @@ std::future<Reply> Server::submit(Tensor input) {
     }
     case PushStatus::kClosed: {
       c_rejected_shutdown_.inc();
+      g_queue_depth_.set(static_cast<double>(queue_.size()));
       Reply reply;
       reply.status = ReplyStatus::kRejectedShutdown;
       reply.model_version = snap->version;
@@ -211,17 +214,24 @@ void Server::serve_batch(MicroBatch& batch) {
     }
   }
 
-  const std::int64_t t0 = now_ns();
   Tensor x({bsz, chw[0], chw[1], chw[2]});
   for (std::int64_t i = 0; i < bsz; ++i) {
     std::memcpy(x.data().data() + i * row,
                 live[static_cast<std::size_t>(i)].input.data().data(),
                 sizeof(float) * static_cast<std::size_t>(row));
   }
-  const Tensor logits = snap->model->forward(ag::Var::constant(x)).value();
+  const Tensor logits = snap->forward(x);
   const std::int64_t t1 = now_ns();
-  const std::int64_t compute_ns = t1 - t0;
-  if (traced_batch) obs::record_span("compute", t0, t1, trace_corr);
+  // Stage boundaries tile exactly: queue_wait covers enqueue ->
+  // assemble_end, compute covers assemble_end -> logits-ready (row staging
+  // included). The SAME boundaries feed reply.queue_ns / reply.compute_ns,
+  // the latency histograms, and the trace spans, so per-request timings and
+  // spans always add up with no gap and no overlap (gated by the
+  // QueueWaitAndComputeTileExactly test).
+  const std::int64_t compute_ns = t1 - batch.assemble_end_ns;
+  if (traced_batch) {
+    obs::record_span("compute", batch.assemble_end_ns, t1, trace_corr);
+  }
   const auto preds = argmax_rows(logits);
   const std::int64_t nc = logits.dim(1);
 
@@ -263,7 +273,7 @@ void Server::serve_batch(MicroBatch& batch) {
                 sizeof(float) * static_cast<std::size_t>(nc));
     reply.argmax = preds[static_cast<std::size_t>(i)];
     reply.model_version = snap->version;
-    reply.queue_ns = t0 - req.enqueue_ns;
+    reply.queue_ns = batch.assemble_end_ns - req.enqueue_ns;
     reply.compute_ns = compute_ns;
     reply.batch_size = bsz;
     reply.trigger = batch.trigger;

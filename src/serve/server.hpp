@@ -1,15 +1,25 @@
 #pragma once
-// The inference serving façade: queue -> batcher -> worker -> futures.
+// The inference serving façade: queue -> batcher -> workers -> futures.
 //
 // Server turns the run-to-completion library into an always-on runtime:
-// clients submit single samples and get std::future<Reply>; a bounded MPSC
-// queue applies admission control (reject-with-status under overload); a
-// worker thread assembles dynamic micro-batches under the dual
-// size-or-deadline trigger so one packed-GEMM forward amortizes across
-// concurrent requests; the versioned ModelRegistry supplies an immutable
-// snapshot per batch, so checkpoints hot-swap under live traffic while
-// in-flight batches finish on the version they grabbed. Every Kth request
-// optionally flows through the robustness telemetry (serve/telemetry.hpp).
+// clients submit single samples and get std::future<Reply>; a bounded MPMC
+// queue applies admission control (reject-with-status under overload);
+// cfg.workers worker threads each run their own dual-trigger Batcher over the
+// shared queue, so micro-batches assemble and forward concurrently (the
+// nfs-ganesha dispatcher/worker split); the versioned ModelRegistry supplies
+// an immutable snapshot per batch, so checkpoints hot-swap under live traffic
+// while in-flight batches finish on the version they grabbed. Every Kth
+// request optionally flows through the robustness telemetry
+// (serve/telemetry.hpp) — safe at any worker count because both the serving
+// forward and the telemetry tap capture ride the snapshot's strictly-const
+// eval path (no mode flips, no shared mutable state; see
+// serve/model_registry.hpp). Bit-identity contract: a request's logits are
+// memcmp-identical whichever worker or micro-batch serves it, telemetry on or
+// off — gated in tests/test_serve.cpp and bench_serve.
+//
+// A TCP front-end for out-of-process clients lives in serve/net/ (deep-
+// backlog listener, length-prefixed framing, client helper); it feeds this
+// same queue through submit().
 //
 // Observability (src/obs): the server records into the process-global
 // obs::registry() — serve.* counters for admission/trigger/telemetry events,
@@ -27,10 +37,11 @@
 //   IBRAR_SERVE_MAX_BATCH    micro-batch row cap            (default 8)
 //   IBRAR_SERVE_DEADLINE_US  batch assembly deadline, us    (default 2000)
 //   IBRAR_SERVE_QUEUE_CAP    admission queue capacity       (default 256)
+//   IBRAR_SERVE_WORKERS      worker threads over the queue  (default 1)
 //   IBRAR_OBS_TRACE_SAMPLE   trace every Kth request        (default 0 = off)
 //
 // Shutdown is graceful: shutdown() (or the destructor) closes the queue, the
-// worker drains every already-accepted request, then exits. Submissions after
+// workers drain every already-accepted request, then exit. Submissions after
 // shutdown complete immediately with kRejectedShutdown.
 
 #include <atomic>
@@ -51,13 +62,16 @@ struct ServeConfig {
   std::int64_t max_batch = 8;
   std::int64_t deadline_us = 2000;
   std::int64_t queue_capacity = 256;
-  /// Worker threads running batch forwards. The default single worker is the
-  /// right choice on this stack: compute parallelism comes from the thread
-  /// pool inside the tensor kernels, not from concurrent forwards.
+  /// Worker threads running batch forwards over the shared queue. One worker
+  /// maximizes per-batch kernel parallelism (the thread pool inside the
+  /// tensor kernels); more workers overlap batch assembly with compute and
+  /// lift throughput when forwards are short or the pool is under-utilized.
+  /// Safe with telemetry at any count — forwards are strictly const.
   std::int64_t workers = 1;
   TelemetryConfig telemetry;  ///< telemetry.sample_every == 0 -> off
 
-  /// Defaults overridden by IBRAR_SERVE_MAX_BATCH / _DEADLINE_US / _QUEUE_CAP.
+  /// Defaults overridden by IBRAR_SERVE_MAX_BATCH / _DEADLINE_US /
+  /// _QUEUE_CAP / _WORKERS.
   static ServeConfig from_env();
 };
 

@@ -41,7 +41,7 @@ RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
     total += acc;
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   if (channels_ == 0) {
     channels_ = channels;
     spatial_ = spatial;
@@ -72,12 +72,33 @@ RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
     // Window full: refresh the Eq. (3) scores from the sampled taps, labeled
     // by the model's own predictions. The features view is (n, C, spatial, 1)
     // so conv taps keep their channel axis; NC taps pass spatial == 1.
+    //
+    // The re-score runs OUTSIDE mu_ on a double-buffered copy of the window:
+    // channel_label_scores is the expensive part (per-channel HSIC over the
+    // whole window), and holding the lock across it would stall every other
+    // worker's sampled request for the full re-score. Copy the window out,
+    // free the live window for new samples, compute unlocked, then
+    // re-install under the lock.
     Tensor feats({cfg_.window, channels_, spatial_, 1});
     std::copy(window_taps_.begin(), window_taps_.end(), feats.data().begin());
-    scores_ = mi::channel_label_scores(feats, window_preds_, num_classes);
-    suspicious_mask_ = mi::mask_from_scores(scores_, cfg_.suspicious_fraction);
-    ++epoch_;
+    std::vector<std::int64_t> preds = window_preds_;
+    const std::int64_t gen_channels = channels_;
+    const std::int64_t gen_spatial = spatial_;
     fill_ = 0;
+    lk.unlock();
+
+    auto scores = mi::channel_label_scores(feats, preds, num_classes);
+    auto mask = mi::mask_from_scores(scores, cfg_.suspicious_fraction);
+
+    lk.lock();
+    // Install only if the tap geometry is still the one this window was
+    // sampled under: a concurrent hot-swap may have restarted the window for
+    // a new architecture, and these scores would be meaningless for it.
+    if (channels_ == gen_channels && spatial_ == gen_spatial) {
+      scores_ = std::move(scores);
+      suspicious_mask_ = std::move(mask);
+      ++epoch_;
+    }
   }
 
   if (!scores_.empty() &&

@@ -9,7 +9,9 @@
 // scoring window, and each time the window fills the per-channel scores are
 // recomputed with mi::channel_label_scores (against the model's own
 // predictions — no ground truth exists at serving time; the parallel
-// per-channel loop keeps this affordable on a live worker). A sampled
+// per-channel loop keeps this affordable on a live worker, and the re-score
+// runs on a double-buffered copy of the window OUTSIDE the monitor mutex so
+// concurrent workers keep observing while one recomputes). A sampled
 // request's reply then carries a `suspicion` reading: the fraction of its
 // activation energy living in the currently low-scoring channels. Clean
 // traffic concentrates energy in robust channels; inputs pushed toward the
@@ -56,7 +58,10 @@ class RobustnessMonitor {
   /// Returns the telemetry to attach to the reply: suspicion against the
   /// most recent score vector (negative before the first window completes)
   /// and the score epoch it was computed under. Refreshes the channel scores
-  /// when this sample fills the window.
+  /// when this sample fills the window; the refresh itself runs outside the
+  /// monitor lock (other threads' observe() calls proceed against the
+  /// previous scores meanwhile), and the caller that filled the window
+  /// returns telemetry stamped with the new epoch.
   RequestTelemetry observe(const float* tap_row, std::int64_t channels,
                            std::int64_t spatial, std::int64_t pred,
                            std::int64_t num_classes);

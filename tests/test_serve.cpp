@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -13,6 +14,8 @@
 
 #include "models/registry.hpp"
 #include "nn/module.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
@@ -197,7 +200,7 @@ TEST(ModelRegistry, CheckpointHotSwapRoundTripsBitIdentically) {
   ag::NoGradGuard ng;
   const Tensor x = sample_input(11).reshape({1, kChannels, kSize, kSize});
   const Tensor a = original->forward(ag::Var::constant(x)).value();
-  const Tensor b = reg.current()->model->forward(ag::Var::constant(x)).value();
+  const Tensor b = reg.current()->forward(x);
   ASSERT_TRUE(a.same_shape(b));
   EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
                         sizeof(float) * static_cast<std::size_t>(a.numel())),
@@ -221,7 +224,10 @@ TEST(ModelRegistry, CheckpointLoadFailureLeavesCurrentVersionServing) {
 // ---- server -----------------------------------------------------------------
 
 serve::ServeConfig quick_config() {
-  serve::ServeConfig cfg;
+  // Start from the environment so CI can re-run this whole suite with the
+  // worker fan-out forced on (IBRAR_SERVE_WORKERS=4 under ASan/UBSan);
+  // tests that need an exact worker count still set cfg.workers themselves.
+  serve::ServeConfig cfg = serve::ServeConfig::from_env();
   cfg.max_batch = 4;
   cfg.deadline_us = 1000;
   cfg.queue_capacity = 64;
@@ -452,17 +458,160 @@ TEST(Server, HotSwapToDifferentInputShapeFailsStaleRowsSafely) {
   EXPECT_EQ(wide_reply.model_version, 2u);
 }
 
-TEST(Server, RejectsMultiWorkerTelemetryCombination) {
+TEST(Server, MultiWorkerLogitsBitIdenticalToSingleWorker) {
+  // The fixed race: telemetry's tap capture used to flip the shared
+  // snapshot's train/eval flag, so workers > 1 with telemetry on was
+  // rejected at construction. Now every forward is the strictly-const eval
+  // path; any worker count must serve memcmp-identical logits whichever
+  // worker or micro-batch a request lands on, telemetry on or off.
   serve::ModelRegistry reg;
   reg.publish(tiny_model(1), sample_shape());
+
+  const int n = 32;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(sample_input(300 + static_cast<std::uint64_t>(i)));
+  }
+
+  // Reference: one worker, telemetry off, singleton batches.
+  std::vector<Tensor> reference(n);
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 1;
+    cfg.queue_capacity = 64;
+    serve::Server server(reg, cfg);
+    for (int i = 0; i < n; ++i) {
+      reference[static_cast<std::size_t>(i)] =
+          server.submit(inputs[static_cast<std::size_t>(i)]).get().logits;
+    }
+  }
+
+  for (const std::int64_t workers : {2, 4}) {
+    for (const std::int64_t sample_every : {0, 3}) {
+      serve::ServeConfig cfg;
+      cfg.max_batch = 4;
+      cfg.deadline_us = 1000;
+      cfg.queue_capacity = 64;
+      cfg.workers = workers;
+      cfg.telemetry.sample_every = sample_every;
+      cfg.telemetry.window = 4;  // small window: several re-scores mid-flight
+      serve::Server server(reg, cfg);  // no longer throws
+      std::vector<std::future<serve::Reply>> futures;
+      for (int i = 0; i < n; ++i) {
+        futures.push_back(server.submit(inputs[static_cast<std::size_t>(i)]));
+      }
+      for (int i = 0; i < n; ++i) {
+        const auto reply = futures[static_cast<std::size_t>(i)].get();
+        ASSERT_EQ(reply.status, serve::ReplyStatus::kOk);
+        const Tensor& a = reference[static_cast<std::size_t>(i)];
+        const Tensor& b = reply.logits;
+        ASSERT_TRUE(a.same_shape(b));
+        EXPECT_EQ(
+            std::memcmp(a.data().data(), b.data().data(),
+                        sizeof(float) * static_cast<std::size_t>(a.numel())),
+            0)
+            << "logits differ for request " << i << " (workers=" << workers
+            << ", telemetry sample_every=" << sample_every << ")";
+      }
+    }
+  }
+}
+
+TEST(Server, HotSwapUnderMultiWorkerLoadServesPublishedVersionsOnly) {
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape(), "v1");
   serve::ServeConfig cfg = quick_config();
-  cfg.workers = 2;
-  cfg.telemetry.sample_every = 4;
-  EXPECT_THROW(serve::Server(reg, cfg), std::invalid_argument);
-  cfg.telemetry.sample_every = 0;  // telemetry off: multi-worker is fine
+  cfg.workers = 4;
+  cfg.telemetry.sample_every = 2;  // exercise concurrent captures too
+  cfg.telemetry.window = 4;
   serve::Server server(reg, cfg);
-  EXPECT_EQ(server.submit(sample_input(1)).get().status,
-            serve::ReplyStatus::kOk);
+
+  // Swap races the in-flight burst: with several workers there is no global
+  // reply order, so per-request the only guarantees are (a) every request is
+  // served OK by a version that was published, and (b) anything submitted
+  // after publish() returned is served by the new version.
+  std::thread swapper(
+      [&reg] { reg.publish(tiny_model(2), sample_shape(), "v2"); });
+  std::vector<std::future<serve::Reply>> futures;
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(
+        server.submit(sample_input(500 + static_cast<std::uint64_t>(i))));
+  }
+  swapper.join();
+  for (auto& f : futures) {
+    const auto r = f.get();
+    EXPECT_EQ(r.status, serve::ReplyStatus::kOk);
+    EXPECT_GE(r.model_version, 1u);
+    EXPECT_LE(r.model_version, 2u);
+  }
+  const auto after = server.submit(sample_input(999)).get();
+  EXPECT_EQ(after.status, serve::ReplyStatus::kOk);
+  EXPECT_EQ(after.model_version, 2u);
+}
+
+TEST(Server, FromEnvReadsWorkersKnob) {
+  ASSERT_EQ(::setenv("IBRAR_SERVE_WORKERS", "3", 1), 0);
+  EXPECT_EQ(serve::ServeConfig::from_env().workers, 3);
+  ASSERT_EQ(::unsetenv("IBRAR_SERVE_WORKERS"), 0);
+  EXPECT_EQ(serve::ServeConfig::from_env().workers, 1);
+}
+
+TEST(Server, QueueWaitAndComputeSpansTileExactlyWithReplyFields) {
+  // Regression for the accounting mismatch: reply.queue_ns used to stop at
+  // the compute-start stamp while the queue_wait trace span stopped at batch
+  // assembly, so span durations and reply fields disagreed and the stage
+  // spans overlapped the compute span. One definition now feeds both: the
+  // queue_wait stage ends exactly where compute begins (assemble_end), and
+  // the reply fields are exactly the span durations.
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+  obs::clear_trace();
+  obs::set_trace_sample_every(1);
+  serve::Reply reply;
+  {
+    serve::Server server(reg, quick_config());
+    reply = server.submit(sample_input(42)).get();
+  }
+  obs::set_trace_sample_every(0);
+  ASSERT_EQ(reply.status, serve::ReplyStatus::kOk);
+
+  const obs::SpanRecord* queue_wait = nullptr;
+  const obs::SpanRecord* compute = nullptr;
+  const auto records = obs::trace_records();
+  for (const auto& rec : records) {
+    if (std::strcmp(rec.name, "queue_wait") == 0 && rec.corr == 0) {
+      queue_wait = &rec;
+    }
+    if (std::strcmp(rec.name, "compute") == 0 && rec.corr == 0) {
+      compute = &rec;
+    }
+  }
+  ASSERT_NE(queue_wait, nullptr);
+  ASSERT_NE(compute, nullptr);
+  // Stages tile: no gap, no overlap.
+  EXPECT_EQ(queue_wait->end_ns, compute->begin_ns);
+  // Reply fields are the span durations, same clock, same boundaries.
+  EXPECT_EQ(reply.queue_ns, queue_wait->end_ns - queue_wait->begin_ns);
+  EXPECT_EQ(reply.compute_ns, compute->end_ns - compute->begin_ns);
+}
+
+TEST(Server, QueueDepthGaugeFreshOnRejectionPathsAndZeroAfterShutdown) {
+  auto& depth = obs::registry().gauge("serve.queue_depth");
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(1), sample_shape());
+  auto server = std::make_unique<serve::Server>(reg, quick_config());
+  for (int i = 0; i < 8; ++i) {
+    server->submit(sample_input(static_cast<std::uint64_t>(i))).get();
+  }
+  server->shutdown();
+  // Drained and stopped: the gauge must read the true (empty) depth, not the
+  // last accepted push's snapshot.
+  EXPECT_EQ(depth.value(), 0.0);
+  // Rejection paths refresh the gauge too (pre-fix they left it stale).
+  depth.set(42.0);
+  const auto late = server->submit(sample_input(99)).get();
+  EXPECT_EQ(late.status, serve::ReplyStatus::kRejectedShutdown);
+  EXPECT_EQ(depth.value(), 0.0);
 }
 
 TEST(Server, TelemetrySamplesEveryKthRequestAndScoresAfterWindow) {

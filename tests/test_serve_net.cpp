@@ -1,0 +1,310 @@
+// TCP front-end: wire framing round-trips (bit-exact floats), malformed /
+// truncated / oversized frame handling, and end-to-end serving through a real
+// socket — including pipelining and the multi-worker bit-identity contract.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "models/registry.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/listener.hpp"
+#include "serve/net/wire.hpp"
+#include "serve/server.hpp"
+#include "tensor/random.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar {
+namespace {
+
+namespace net = serve::net;
+
+constexpr std::int64_t kSize = 4;
+constexpr std::int64_t kChannels = 3;
+constexpr std::int64_t kClasses = 5;
+
+models::TapClassifierPtr tiny_model(std::uint64_t seed) {
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  spec.num_classes = kClasses;
+  spec.image_size = kSize;
+  spec.in_channels = kChannels;
+  Rng rng(seed);
+  return models::make_model(spec, rng);
+}
+
+Tensor sample_input(std::uint64_t seed) {
+  Rng rng(seed);
+  return rand_uniform({kChannels, kSize, kSize}, rng, 0.0f, 1.0f);
+}
+
+/// Raw loopback connection for protocol-violation tests (the Client helper
+/// refuses to send violating frames, so these must go around it).
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// True when the server closed the connection (EOF; no reply bytes).
+bool reads_eof(int fd) {
+  std::uint8_t byte = 0;
+  const ssize_t r = ::recv(fd, &byte, 1, 0);
+  return r == 0;
+}
+
+// ---- wire framing -----------------------------------------------------------
+
+TEST(Wire, SubmitFrameRoundTripsBitExactly) {
+  net::SubmitFrame f;
+  f.id = 0xdeadbeefcafe1234ull;
+  f.input = sample_input(7);
+  const auto bytes = net::encode_submit(f);
+  const auto back = net::decode_submit(bytes.data(), bytes.size());
+  EXPECT_EQ(back.id, f.id);
+  ASSERT_TRUE(back.input.same_shape(f.input));
+  EXPECT_EQ(std::memcmp(back.input.data().data(), f.input.data().data(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(f.input.numel())),
+            0);
+}
+
+TEST(Wire, ReplyFrameRoundTripsEveryField) {
+  net::ReplyFrame f;
+  f.id = 42;
+  f.status = net::WireStatus::kOk;
+  f.model_version = 3;
+  f.argmax = 4;
+  f.queue_ns = 12345;
+  f.compute_ns = 67890;
+  f.batch_size = 8;
+  f.trigger = 1;
+  f.sampled = true;
+  f.suspicion = 0.375f;
+  f.score_epoch = 2;
+  f.logits = {0.5f, -1.25f, 3.0f, 0.0f, -0.0f};
+  const auto bytes = net::encode_reply(f);
+  const auto back = net::decode_reply(bytes.data(), bytes.size());
+  EXPECT_EQ(back.id, f.id);
+  EXPECT_EQ(back.status, f.status);
+  EXPECT_EQ(back.model_version, f.model_version);
+  EXPECT_EQ(back.argmax, f.argmax);
+  EXPECT_EQ(back.queue_ns, f.queue_ns);
+  EXPECT_EQ(back.compute_ns, f.compute_ns);
+  EXPECT_EQ(back.batch_size, f.batch_size);
+  EXPECT_EQ(back.trigger, f.trigger);
+  EXPECT_EQ(back.sampled, f.sampled);
+  EXPECT_EQ(back.score_epoch, f.score_epoch);
+  ASSERT_EQ(back.logits.size(), f.logits.size());
+  EXPECT_EQ(std::memcmp(back.logits.data(), f.logits.data(),
+                        sizeof(float) * f.logits.size()),
+            0);  // bit-exact, including the negative zero
+  EXPECT_EQ(std::memcmp(&back.suspicion, &f.suspicion, sizeof(float)), 0);
+}
+
+TEST(Wire, StatusMappingMirrorsReplyStatus) {
+  EXPECT_EQ(net::to_wire(serve::ReplyStatus::kOk), net::WireStatus::kOk);
+  EXPECT_EQ(net::to_wire(serve::ReplyStatus::kRejectedQueueFull),
+            net::WireStatus::kRejectedQueueFull);
+  EXPECT_EQ(net::to_wire(serve::ReplyStatus::kRejectedShutdown),
+            net::WireStatus::kRejectedShutdown);
+  EXPECT_EQ(net::to_wire(serve::ReplyStatus::kRejectedStaleShape),
+            net::WireStatus::kRejectedStaleShape);
+}
+
+TEST(Wire, TruncatedPayloadsThrowAtEveryPrefixLength) {
+  net::SubmitFrame sf;
+  sf.id = 9;
+  sf.input = sample_input(1);
+  const auto submit_bytes = net::encode_submit(sf);
+  for (std::size_t n = 0; n < submit_bytes.size(); n += 7) {
+    EXPECT_THROW(net::decode_submit(submit_bytes.data(), n),
+                 std::runtime_error)
+        << "prefix length " << n;
+  }
+  net::ReplyFrame rf;
+  rf.logits = {1.0f, 2.0f};
+  const auto reply_bytes = net::encode_reply(rf);
+  for (std::size_t n = 0; n < reply_bytes.size(); n += 5) {
+    EXPECT_THROW(net::decode_reply(reply_bytes.data(), n), std::runtime_error)
+        << "prefix length " << n;
+  }
+}
+
+TEST(Wire, TrailingBytesAndWrongTypeAreRejected) {
+  net::SubmitFrame sf;
+  sf.input = sample_input(2);
+  auto bytes = net::encode_submit(sf);
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(net::decode_submit(padded.data(), padded.size()),
+               std::runtime_error);
+  EXPECT_THROW(net::decode_reply(bytes.data(), bytes.size()),
+               std::runtime_error);  // submit frame fed to the reply decoder
+  bytes[0] = 99;                     // unknown frame type
+  EXPECT_THROW(net::decode_submit(bytes.data(), bytes.size()),
+               std::runtime_error);
+}
+
+// ---- end-to-end through a real socket ---------------------------------------
+
+struct Frontend {
+  serve::ModelRegistry reg;
+  std::unique_ptr<serve::Server> server;
+  std::unique_ptr<net::TcpFrontend> tcp;
+
+  // Defaults come from the environment so CI can force the worker fan-out
+  // on for this whole suite (IBRAR_SERVE_WORKERS=4 under ASan/UBSan).
+  explicit Frontend(serve::ServeConfig cfg = serve::ServeConfig::from_env()) {
+    reg.publish(tiny_model(1), {kChannels, kSize, kSize}, "v1");
+    server = std::make_unique<serve::Server>(reg, cfg);
+    tcp = std::make_unique<net::TcpFrontend>(*server);
+  }
+};
+
+TEST(TcpFrontend, LogitsThroughTheSocketBitIdenticalToInProcess) {
+  Frontend fe;
+  const Tensor x = sample_input(11);
+  const serve::Reply direct = fe.server->submit(x).get();
+  net::Client client("127.0.0.1", fe.tcp->port());
+  const auto wire = client.submit(x);
+  EXPECT_TRUE(wire.ok());
+  EXPECT_EQ(wire.model_version, 1u);
+  EXPECT_EQ(wire.argmax, direct.argmax);
+  ASSERT_EQ(static_cast<std::int64_t>(wire.logits.size()),
+            direct.logits.numel());
+  EXPECT_EQ(std::memcmp(wire.logits.data(), direct.logits.data().data(),
+                        sizeof(float) * wire.logits.size()),
+            0);
+}
+
+TEST(TcpFrontend, PipelinedRepliesComeBackInSubmissionOrder) {
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_us = 500;
+  cfg.workers = 2;
+  Frontend fe(cfg);
+  net::Client client("127.0.0.1", fe.tcp->port());
+  const int n = 24;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(client.send(sample_input(static_cast<std::uint64_t>(i))));
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto reply = client.recv();
+    EXPECT_EQ(reply.id, ids[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(reply.ok());
+  }
+}
+
+TEST(TcpFrontend, MultiWorkerSocketServingMatchesSingleWorkerBits) {
+  const int n = 16;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(sample_input(700 + static_cast<std::uint64_t>(i)));
+  }
+  std::vector<std::vector<float>> reference(static_cast<std::size_t>(n));
+  {
+    Frontend fe;  // defaults: one worker, telemetry off
+    net::Client client("127.0.0.1", fe.tcp->port());
+    for (int i = 0; i < n; ++i) {
+      reference[static_cast<std::size_t>(i)] =
+          client.submit(inputs[static_cast<std::size_t>(i)]).logits;
+    }
+  }
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_us = 1000;
+  cfg.workers = 4;
+  cfg.telemetry.sample_every = 2;
+  cfg.telemetry.window = 4;
+  Frontend fe(cfg);
+  net::Client client("127.0.0.1", fe.tcp->port());
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(client.send(inputs[static_cast<std::size_t>(i)]));
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto reply = client.recv();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.id, ids[static_cast<std::size_t>(i)]);
+    const auto& ref = reference[static_cast<std::size_t>(i)];
+    ASSERT_EQ(reply.logits.size(), ref.size());
+    EXPECT_EQ(std::memcmp(reply.logits.data(), ref.data(),
+                          sizeof(float) * ref.size()),
+              0)
+        << "socket logits differ for request " << i;
+  }
+}
+
+TEST(TcpFrontend, BadShapeGetsBadRequestWithoutTeardown) {
+  Frontend fe;
+  net::Client client("127.0.0.1", fe.tcp->port());
+  Rng rng(3);
+  const auto bad =
+      client.submit(rand_uniform({kChannels, kSize + 1, kSize + 1}, rng));
+  EXPECT_EQ(bad.status, net::WireStatus::kBadRequest);
+  // The connection survived: a well-shaped request on the SAME socket works.
+  const auto good = client.submit(sample_input(5));
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(TcpFrontend, OversizedLengthPrefixDropsTheConnection) {
+  Frontend fe;
+  const int fd = raw_connect(fe.tcp->port());
+  const std::uint32_t huge = net::kMaxFrameBytes + 1;
+  ASSERT_EQ(::send(fd, &huge, sizeof huge, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof huge));
+  EXPECT_TRUE(reads_eof(fd));  // no reply, no crash: connection dropped
+  ::close(fd);
+  // The server itself is unharmed.
+  net::Client client("127.0.0.1", fe.tcp->port());
+  EXPECT_TRUE(client.submit(sample_input(8)).ok());
+}
+
+TEST(TcpFrontend, MalformedPayloadDropsTheConnection) {
+  Frontend fe;
+  const int fd = raw_connect(fe.tcp->port());
+  // Well-framed garbage: length prefix is honest, payload type is junk.
+  const std::uint32_t len = 16;
+  std::uint8_t junk[16];
+  std::memset(junk, 0xab, sizeof junk);
+  ASSERT_EQ(::send(fd, &len, sizeof len, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof len));
+  ASSERT_EQ(::send(fd, junk, sizeof junk, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof junk));
+  EXPECT_TRUE(reads_eof(fd));
+  ::close(fd);
+  net::Client client("127.0.0.1", fe.tcp->port());
+  EXPECT_TRUE(client.submit(sample_input(9)).ok());
+}
+
+TEST(TcpFrontend, TruncatedFrameThenHangupIsHandled) {
+  Frontend fe;
+  const int fd = raw_connect(fe.tcp->port());
+  // Claim 1000 payload bytes, deliver 10, hang up mid-frame.
+  const std::uint32_t len = 1000;
+  std::uint8_t partial[10] = {};
+  ASSERT_EQ(::send(fd, &len, sizeof len, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof len));
+  ASSERT_EQ(::send(fd, partial, sizeof partial, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof partial));
+  ::close(fd);
+  net::Client client("127.0.0.1", fe.tcp->port());
+  EXPECT_TRUE(client.submit(sample_input(10)).ok());
+}
+
+}  // namespace
+}  // namespace ibrar

@@ -22,21 +22,30 @@
 //                   validates in CI;
 //   * --trace FILE  dumps the request-trace ring buffers as chrome://tracing
 //                   JSON at exit (enables sampling at every 8th request if
-//                   IBRAR_OBS_TRACE_SAMPLE didn't already).
+//                   IBRAR_OBS_TRACE_SAMPLE didn't already);
+//   * --listen PORT starts the TCP front-end (serve/net) on 127.0.0.1:PORT
+//                   (0 picks an ephemeral port, printed at startup) and
+//                   drives the demo traffic THROUGH the socket — one
+//                   net::Client connection per client thread — instead of
+//                   in-process futures, so the run exercises framing,
+//                   pipelining, and the listener end to end.
 //
 // Server shape comes from the standard env knobs: IBRAR_SERVE_MAX_BATCH,
-// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP; IBRAR_OBS_PROFILE=1 prints
-// the per-kernel profile table at exit. Results are printed and recorded to
-// an ibrar-bench-v1 JSON (--out, default SERVE.json).
+// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP, IBRAR_SERVE_WORKERS;
+// IBRAR_OBS_PROFILE=1 prints the per-kernel profile table at exit. Results
+// are printed and recorded to an ibrar-bench-v1 JSON (--out, default
+// SERVE.json).
 //
 //   ./ibrar_serve --model vgg16 --requests 2000 --clients 8 --adv 0.5
 //                 --swap --stats-every 250 --trace serve_trace.json
+//   IBRAR_SERVE_WORKERS=4 ./ibrar_serve --listen 0 --requests 2000
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -49,6 +58,8 @@
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/listener.hpp"
 #include "serve/server.hpp"
 
 using namespace ibrar;
@@ -80,6 +91,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   double adv_fraction = 0.0;
   bool swap_mid_run = false;
+  std::int64_t listen_port = -1;  // -1 = in-process futures (no socket)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -100,14 +112,19 @@ int main(int argc, char** argv) {
     else if (arg == "--stats-every") stats_every_ms = std::stoll(next());
     else if (arg == "--stats-out") stats_out = next();
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--listen") listen_port = std::stoll(next());
     else {
       std::fprintf(stderr,
                    "usage: ibrar_serve [--dataset D] [--model M] [--requests N]"
                    " [--clients C] [--telemetry K] [--adv FRACTION] [--swap]"
                    " [--out FILE] [--stats-every MS] [--stats-out FILE]"
-                   " [--trace FILE]\n");
+                   " [--trace FILE] [--listen PORT]\n");
       return arg == "--help" ? 0 : 2;
     }
+  }
+  if (listen_port < -1 || listen_port > 65535) {
+    std::fprintf(stderr, "--listen PORT must be in [0, 65535]\n");
+    return 2;
   }
   if (!trace_path.empty() && !obs::trace_enabled()) {
     obs::set_trace_sample_every(8);  // --trace implies sampling
@@ -171,13 +188,24 @@ int main(int argc, char** argv) {
   cfg.telemetry.window = 32;
   serve::Server server(registry, cfg);
   std::printf("serving %s v1: max_batch=%lld deadline=%lldus queue=%lld "
-              "clients=%lld requests=%lld telemetry=every %lldth\n",
+              "workers=%lld clients=%lld requests=%lld telemetry=every "
+              "%lldth\n",
               model_name.c_str(), static_cast<long long>(cfg.max_batch),
               static_cast<long long>(cfg.deadline_us),
               static_cast<long long>(cfg.queue_capacity),
+              static_cast<long long>(cfg.workers),
               static_cast<long long>(clients),
               static_cast<long long>(requests),
               static_cast<long long>(telemetry_every));
+  std::unique_ptr<serve::net::TcpFrontend> frontend;
+  if (listen_port >= 0) {
+    serve::net::FrontendConfig fcfg;
+    fcfg.port = static_cast<std::uint16_t>(listen_port);
+    frontend = std::make_unique<serve::net::TcpFrontend>(server, fcfg);
+    std::printf("listening on 127.0.0.1:%u — traffic goes through the socket "
+                "(length-prefixed frames, serve/net/wire.hpp)\n",
+                frontend->port());
+  }
 
   // Periodic JSON-lines metric snapshots: one obs::registry() dump per line.
   // The emitter owns the file until it is joined; main appends the final
@@ -218,6 +246,13 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (std::int64_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      // With --listen each client thread owns one socket connection, so the
+      // run exercises the real wire path per client instead of futures.
+      std::unique_ptr<serve::net::Client> net_client;
+      if (frontend) {
+        net_client = std::make_unique<serve::net::Client>("127.0.0.1",
+                                                          frontend->port());
+      }
       for (std::int64_t r = c; r < requests; r += clients) {
         // Hot swap: the first client to cross the midpoint republishes the
         // current weights from a disk checkpoint as version 2, while every
@@ -230,32 +265,53 @@ int main(int argc, char** argv) {
                        static_cast<long long>(r));
         }
         const std::int64_t row = r % n;
+        bool ok = false;
+        std::int64_t argmax = -1;
+        std::uint64_t version = 0;
+        bool sampled = false;
+        float suspicion = -1.0f;
         Stopwatch lat;
-        const auto reply = server.submit(rows[static_cast<std::size_t>(row)])
-                               .get();
+        if (net_client) {
+          const auto reply =
+              net_client->submit(rows[static_cast<std::size_t>(row)]);
+          ok = reply.ok();
+          argmax = reply.argmax;
+          version = reply.model_version;
+          sampled = reply.sampled;
+          suspicion = reply.suspicion;
+        } else {
+          const auto reply =
+              server.submit(rows[static_cast<std::size_t>(row)]).get();
+          ok = reply.ok();
+          argmax = reply.argmax;
+          version = reply.model_version;
+          sampled = reply.telemetry.sampled;
+          suspicion = reply.telemetry.suspicion;
+        }
         const double ms = lat.seconds() * 1e3;
-        if (!reply.ok()) {
+        if (!ok) {
           rejected.fetch_add(1);
           continue;
         }
         served.fetch_add(1);
-        if (reply.argmax == data.test.labels[static_cast<std::size_t>(row)]) {
+        if (argmax == data.test.labels[static_cast<std::size_t>(row)]) {
           correct.fetch_add(1);
         }
         std::lock_guard<std::mutex> lk(agg_mu);
         latencies_ms.push_back(ms);
-        if (reply.model_version < version_counts.size()) {
-          ++version_counts[static_cast<std::size_t>(reply.model_version)];
+        if (version < version_counts.size()) {
+          ++version_counts[static_cast<std::size_t>(version)];
         }
-        if (reply.telemetry.sampled && reply.telemetry.suspicion >= 0.0f) {
+        if (sampled && suspicion >= 0.0f) {
           (is_adv[static_cast<std::size_t>(row)] ? adv_susp : clean_susp)
-              .add(reply.telemetry.suspicion);
+              .add(suspicion);
         }
       }
     });
   }
   for (auto& t : threads) t.join();
   const double seconds = wall.seconds();
+  if (frontend) frontend->stop();  // front-end first, then the server
   server.shutdown();
   if (swapped.load()) std::remove(ckpt_path.c_str());
   if (stats_f != nullptr) {
