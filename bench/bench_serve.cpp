@@ -11,7 +11,10 @@
 //   * bit-identity: every request's logits through the batched server — any
 //     worker count, telemetry on or off — are memcmp-equal to the batch=1
 //     server's logits for the same input (the determinism contract of
-//     serve/batcher.hpp and serve/model_registry.hpp);
+//     serve/batcher.hpp and serve/model_registry.hpp). The batch=1 baseline
+//     is a same-seed model published with prepack=false (the layer-by-layer
+//     eval path), so this gate also pins the fused conv plans (tensor/
+//     conv_eval) to the reference numerics end-to-end;
 //   * backpressure contract: under a flood into a tiny queue, rejects carry
 //     kRejectedQueueFull, every accepted request is served, and
 //     accepted + rejected == offered;
@@ -23,10 +26,11 @@
 // recorded for both modes; bit-identity makes them equal by construction,
 // and the gate checks it anyway.
 //
-// JSON rows (ibrar-bench-v1, default BENCH_pr7.json / IBRAR_BENCH_OUT):
+// JSON rows (ibrar-bench-v1, default BENCH_pr8.json / IBRAR_BENCH_OUT):
 //   kernel "serve/serial|batched|workers|telemetry|openloop", shape
 //   "clients=..,deadline_us=..,max_batch=..[,workers=..|offered_rps=..]",
-//   ns_per_op = mean ns/request, checksum = p99 ms, speedup_vs_naive =
+//   ns_per_op = mean ns/request, gflops = analytic model FLOPs per request
+//   divided by measured ns/request, checksum = p99 ms, speedup_vs_naive =
 //   throughput vs the serial row, bit_identical = gate, plus latency
 //   percentiles as extra fields p50_ms/p95_ms/p99_ms (client-observed,
 //   timed section only; open-loop rows also carry offered_rps/achieved_rps).
@@ -147,14 +151,43 @@ LoadResult run_closed_loop(serve::Server& server, const data::Dataset& ds,
   return res;
 }
 
+/// Analytic forward FLOPs for one request (one image), counting every
+/// multiply-add in the conv/linear kernels as 2 flops. This is the numerator
+/// that turns measured ns/request into real GFLOP/s for the serve/* rows
+/// (the previous schema reported 0.000 there).
+double flops_per_request(const std::string& label, const Shape& chw,
+                         std::int64_t classes) {
+  const double in =
+      static_cast<double>(chw[0] * chw[1] * chw[2]);
+  if (label == "mlp256") {
+    return 2.0 * (in * 256.0 + 256.0 * 256.0 + 256.0 * classes);
+  }
+  // vgg16 (models/vgg.hpp defaults): 5 blocks x 2 convs of 3x3 pad-1, pool
+  // after blocks 1-3, then flatten -> 64 -> 64 -> classes linears.
+  const std::vector<std::int64_t> ch = {8, 12, 16, 24, 24};
+  double fl = 0.0;
+  double c = static_cast<double>(chw[0]);
+  double s = static_cast<double>(chw[1]);
+  for (std::size_t b = 0; b < ch.size(); ++b) {
+    for (int conv = 0; conv < 2; ++conv) {
+      fl += 2.0 * s * s * static_cast<double>(ch[b]) * c * 9.0;
+      c = static_cast<double>(ch[b]);
+    }
+    if (b < 3) s /= 2.0;
+  }
+  fl += 2.0 * (c * s * s * 64.0 + 64.0 * 64.0 + 64.0 * classes);
+  return fl;
+}
+
 void add_row(JsonReporter& rep, const std::string& kernel,
              const std::string& shape, const LoadResult& r, double speedup,
-             bool bit_identical) {
+             bool bit_identical, double flops = 0.0) {
   BenchRecord rec;
   rec.kernel = kernel;
   rec.shape = shape;
   rec.ns_per_op = 1e9 / r.throughput;  // mean ns per request end-to-end
-  rec.gflops = 0.0;
+  // flops/request divided by ns/request is GFLOP/s of the whole pipeline.
+  rec.gflops = rec.ns_per_op > 0.0 ? flops / rec.ns_per_op : 0.0;
   rec.threads = runtime::num_threads();
   rec.checksum = r.p99_ms;             // headline latency metric
   rec.speedup_vs_naive = speedup;
@@ -263,7 +296,7 @@ int main(int argc, char** argv) {
 
   JsonReporter reporter(
       env::get_string("IBRAR_BENCH_OUT",
-                      smoke ? "BENCH_smoke_serve.json" : "BENCH_pr7.json"));
+                      smoke ? "BENCH_smoke_serve.json" : "BENCH_pr8.json"));
 
   // Untrained-but-published weights are fine for a serving perf A/B; accuracy
   // equality between modes is what matters, not its absolute level. Smoke
@@ -284,26 +317,35 @@ int main(int argc, char** argv) {
   // comes from).
   struct ModelUnderTest {
     std::string label;
-    models::TapClassifierPtr model;
+    models::TapClassifierPtr model;      ///< published normally (fused eval)
+    models::TapClassifierPtr reference;  ///< same seed, layer-by-layer path
   };
+  // Each entry is a PAIR of same-seed instances (bit-identical weights): the
+  // serving registry publishes one with the default snapshot-time prepack
+  // (fused conv plans), while the serial-baseline registry publishes the
+  // other with prepack=false, pinning it to the layer-by-layer eval. The
+  // batched-vs-serial speedups below therefore include the fused-kernel win,
+  // and the bit gates check fused-vs-reference on every single request.
   std::vector<ModelUnderTest> models_under_test;
   {
-    Rng rng(42);
+    Rng rng_a(42), rng_b(42);
     models::MLPConfig mcfg;
     mcfg.in_features = chw[0] * chw[1] * chw[2];
     mcfg.hidden = {256, 256};
     mcfg.num_classes = data.test.num_classes;
     models_under_test.push_back(
-        {"mlp256", std::make_shared<models::MLP>(mcfg, rng)});
+        {"mlp256", std::make_shared<models::MLP>(mcfg, rng_a),
+         std::make_shared<models::MLP>(mcfg, rng_b)});
   }
   if (!smoke) {
-    Rng rng(43);
     models::ModelSpec spec;
     spec.name = "vgg16";
     spec.num_classes = data.test.num_classes;
     spec.image_size = chw[1];
     spec.in_channels = chw[0];
-    models_under_test.push_back({"vgg16", models::make_model(spec, rng)});
+    Rng rng_a(43), rng_b(43);
+    models_under_test.push_back({"vgg16", models::make_model(spec, rng_a),
+                                 models::make_model(spec, rng_b)});
   }
 
   struct SweepPoint {
@@ -324,13 +366,18 @@ int main(int argc, char** argv) {
   serve::ModelRegistry telemetry_registry;  // reuses the first model
 
   for (auto& mut : models_under_test) {
+    const double flops = flops_per_request(mut.label, chw,
+                                           data.test.num_classes);
     serve::ModelRegistry registry;
     registry.publish(mut.model, chw, mut.label);
+    serve::ModelRegistry ref_registry;  // layer-by-layer serial baseline
+    ref_registry.publish(mut.reference, chw, mut.label + "-ref",
+                         /*prepack=*/false);
     if (&mut == &models_under_test.front()) {
       telemetry_registry.publish(mut.model, chw, mut.label);
     }
 
-    // ---- batch=1 serial baseline ------------------------------------------
+    // ---- batch=1 serial baseline (reference eval path) ---------------------
     serve::ServeConfig serial_cfg;
     serial_cfg.max_batch = 1;
     serial_cfg.deadline_us = 0;
@@ -338,7 +385,7 @@ int main(int argc, char** argv) {
     std::vector<Tensor> serial_logits;
     LoadResult serial;
     {
-      serve::Server server(registry, serial_cfg);
+      serve::Server server(ref_registry, serial_cfg);
       serial = run_closed_loop(server, data.test, rows, total, /*clients=*/1,
                                &serial_logits, warmup);
     }
@@ -347,7 +394,7 @@ int main(int argc, char** argv) {
                 mut.label.c_str(), serial.throughput, serial.p50_ms,
                 serial.p95_ms, serial.p99_ms, serial.accuracy);
     add_row(reporter, "serve/" + mut.label + "/serial", "clients=1,max_batch=1",
-            serial, 1.0, true);
+            serial, 1.0, true, flops);
 
     // ---- dynamic micro-batching sweep: clients x deadline ------------------
     for (const auto& pt : sweep) {
@@ -381,7 +428,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.max_batch_observed),
                   speedup, bits_ok ? "OK" : "MISMATCH");
       add_row(reporter, "serve/" + mut.label + "/batched", shape, r, speedup,
-              bits_ok);
+              bits_ok, flops);
       if (!bits_ok) {
         std::fprintf(stderr, "FAIL: %s batched logits differ from batch=1 "
                      "(%s)\n", mut.label.c_str(), shape.c_str());
@@ -434,7 +481,7 @@ int main(int argc, char** argv) {
                   r.throughput, r.p50_ms, r.p99_ms, speedup,
                   bits_ok ? "OK" : "MISMATCH");
       add_row(reporter, "serve/" + mut.label + "/workers", shape, r, speedup,
-              bits_ok);
+              bits_ok, flops);
       if (!bits_ok) {
         std::fprintf(stderr,
                      "FAIL: %s workers=%lld telemetry-on logits differ from "
@@ -463,7 +510,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.telemetry_samples),
                 static_cast<unsigned long long>(server.monitor().score_epoch()));
     add_row(reporter, "serve/telemetry",
-            "clients=8,max_batch=8,deadline_us=2000,every=8", r, 0.0, true);
+            "clients=8,max_batch=8,deadline_us=2000,every=8", r, 0.0, true,
+            flops_per_request("mlp256", chw, data.test.num_classes));
     if (stats.telemetry_samples == 0) {
       std::fprintf(stderr, "FAIL: telemetry sampled nothing at every=8\n");
       ++failures;
@@ -553,6 +601,11 @@ int main(int argc, char** argv) {
                   ",workers=" + std::to_string(cfg.workers) +
                   ",max_batch=8,deadline_us=2000";
       rec.ns_per_op = r.achieved_rps > 0.0 ? 1e9 / r.achieved_rps : 0.0;
+      rec.gflops = rec.ns_per_op > 0.0
+                       ? flops_per_request("mlp256", chw,
+                                           data.test.num_classes) /
+                             rec.ns_per_op
+                       : 0.0;
       rec.threads = runtime::num_threads();
       rec.checksum = r.p99_ms;
       rec.bit_identical = r.accounted;

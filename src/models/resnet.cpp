@@ -1,6 +1,9 @@
 #include "models/resnet.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "autograd/var.hpp"
 
 namespace ibrar::models {
 
@@ -39,6 +42,29 @@ ag::Var BasicBlock::eval_forward(const ag::Var& x) const {
   return ag::relu(ag::add(h, skip));
 }
 
+void BasicBlock::prepare_fused_eval() {
+  if (fconv1_) return;
+  fconv1_ = std::make_unique<ConvEvalPlan>(conv1_->weight_value(), nullptr,
+                                           conv1_->spec(), bn1_->folded(),
+                                           /*relu=*/true);
+  fconv2_ = std::make_unique<ConvEvalPlan>(conv2_->weight_value(), nullptr,
+                                           conv2_->spec(), bn2_->folded(),
+                                           /*relu=*/true);
+  if (proj_) {
+    fproj_ = std::make_unique<ConvEvalPlan>(proj_->weight_value(), nullptr,
+                                            proj_->spec(), proj_bn_->folded(),
+                                            /*relu=*/false);
+  }
+}
+
+Tensor BasicBlock::fused_eval(const Tensor& x) const {
+  Tensor h = fconv1_->run(x);                       // relu(bn1(conv1(x)))
+  const Tensor skip = fproj_ ? fproj_->run(x) : x;  // proj_bn(proj(x)) | x
+  // conv2+bn2 with the residual add and final relu fused into the epilogue:
+  // relu(add(bn2(conv2(h)), skip)) in the reference element order.
+  return fconv2_->run(h, &skip);
+}
+
 MiniResNet::MiniResNet(const ResNetConfig& cfg, Rng& rng) : cfg_(cfg) {
   if (cfg_.channels.size() != 4) {
     throw std::invalid_argument("MiniResNet: exactly 4 stages");
@@ -56,13 +82,16 @@ MiniResNet::MiniResNet(const ResNetConfig& cfg, Rng& rng) : cfg_(cfg) {
     // Downsample at stages 2-4 (16 -> 8 -> 4 -> 2), as ResNet-18 does from
     // its second stage onward.
     const std::int64_t stride0 = s == 0 ? 1 : 2;
+    std::vector<std::shared_ptr<BasicBlock>> typed;
     for (std::int64_t b = 0; b < cfg_.blocks_per_stage; ++b) {
-      stage->push_back(std::make_shared<BasicBlock>(b == 0 ? in_c : out_c,
-                                                    out_c, b == 0 ? stride0 : 1,
-                                                    rng));
+      auto block = std::make_shared<BasicBlock>(b == 0 ? in_c : out_c, out_c,
+                                                b == 0 ? stride0 : 1, rng);
+      typed.push_back(block);
+      stage->push_back(std::move(block));
     }
     register_module("stage" + std::to_string(s + 1), stage);
     stages_.push_back(std::move(stage));
+    stage_blocks_.push_back(std::move(typed));
     in_c = out_c;
   }
 
@@ -88,6 +117,9 @@ TapsOutput MiniResNet::forward_with_taps(const ag::Var& x) {
 }
 
 TapsOutput MiniResNet::eval_forward_with_taps(const ag::Var& x) const {
+  if (fstem_ != nullptr && !ag::grad_enabled()) {
+    return fused_eval_with_taps(x.value());
+  }
   TapsOutput out;
   ag::Var h = ag::relu(stem_bn_->eval_forward(stem_->eval_forward(x)));
   for (std::size_t s = 0; s < stages_.size(); ++s) {
@@ -98,6 +130,32 @@ TapsOutput MiniResNet::eval_forward_with_taps(const ag::Var& x) const {
   h = ag::global_avg_pool(h);
   out.taps.push_back(h);  // gap features
   out.logits = head_->eval_forward(h);
+  return out;
+}
+
+void MiniResNet::prepare_fused_eval() {
+  if (fstem_ != nullptr || !fused_eval_enabled()) return;
+  for (auto& stage : stage_blocks_) {
+    for (auto& block : stage) block->prepare_fused_eval();
+  }
+  // Built last: fstem_ doubles as the "plans ready" flag the eval gate reads.
+  fstem_ = std::make_unique<ConvEvalPlan>(stem_->weight_value(), nullptr,
+                                          stem_->spec(), stem_bn_->folded(),
+                                          /*relu=*/true);
+}
+
+TapsOutput MiniResNet::fused_eval_with_taps(const Tensor& x) const {
+  TapsOutput out;
+  Tensor h = fstem_->run(x);  // relu(stem_bn(stem(x)))
+  for (std::size_t s = 0; s < stage_blocks_.size(); ++s) {
+    for (const auto& block : stage_blocks_[s]) h = block->fused_eval(h);
+    if (s == 3) h = apply_channel_mask_eval(h);
+    out.taps.push_back(ag::Var::constant(h));
+  }
+  const Tensor gap = global_avg_pool(h);
+  ag::Var hv = ag::Var::constant(gap);
+  out.taps.push_back(hv);  // gap features
+  out.logits = head_->eval_forward(hv);
   return out;
 }
 

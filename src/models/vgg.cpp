@@ -1,6 +1,10 @@
 #include "models/vgg.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "autograd/var.hpp"
+#include "tensor/ops.hpp"
 
 namespace ibrar::models {
 
@@ -16,6 +20,12 @@ ag::Var TapClassifier::apply_channel_mask(const ag::Var& feat) const {
   if (mask_.numel() == 0 || mask_.rank() == 0) return feat;
   const auto c = mask_.numel();
   return ag::mul(feat, ag::Var::constant(mask_.reshape({1, c, 1, 1})));
+}
+
+Tensor TapClassifier::apply_channel_mask_eval(const Tensor& feat) const {
+  if (mask_.numel() == 0 || mask_.rank() == 0) return feat;
+  const auto c = mask_.numel();
+  return ibrar::mul(feat, mask_.reshape({1, c, 1, 1}));
 }
 
 ag::Var TapClassifier::maybe_noise(const ag::Var& h) {
@@ -34,22 +44,33 @@ MiniVGG::MiniVGG(const VGGConfig& cfg, Rng& rng) : cfg_(cfg) {
   for (std::size_t b = 0; b < 5; ++b) {
     auto block = std::make_shared<nn::Sequential>();
     const std::int64_t out_c = cfg_.channels[b];
+    std::vector<std::shared_ptr<nn::Conv2d>> convs;
+    std::vector<std::shared_ptr<nn::BatchNorm2d>> bns;
     for (std::int64_t k = 0; k < cfg_.convs_per_block; ++k) {
-      block->push_back(std::make_shared<nn::Conv2d>(k == 0 ? in_c : out_c,
-                                                    out_c, rng));
+      auto conv = std::make_shared<nn::Conv2d>(k == 0 ? in_c : out_c, out_c,
+                                               rng);
+      convs.push_back(conv);
+      block->push_back(std::move(conv));
       if (cfg_.batch_norm) {
-        block->push_back(std::make_shared<nn::BatchNorm2d>(out_c));
+        auto bn = std::make_shared<nn::BatchNorm2d>(out_c);
+        bns.push_back(bn);
+        block->push_back(std::move(bn));
       }
       block->push_back(std::make_shared<nn::ReLU>());
     }
     // Pool while spatial size allows it (blocks 1-3 at 16x16 input); VGG16
     // pools after every block at 32x32, which this mirrors proportionally.
+    bool pool = false;
     if (b < 3 && spatial >= 4) {
       block->push_back(std::make_shared<nn::MaxPool2d>(2));
       spatial /= 2;
+      pool = true;
     }
     register_module("block" + std::to_string(b + 1), block);
     blocks_.push_back(std::move(block));
+    conv_layers_.push_back(std::move(convs));
+    bn_layers_.push_back(std::move(bns));
+    pool_after_.push_back(pool ? 1 : 0);
     in_c = out_c;
   }
 
@@ -91,6 +112,11 @@ TapsOutput MiniVGG::forward_with_taps(const ag::Var& x) {
 }
 
 TapsOutput MiniVGG::eval_forward_with_taps(const ag::Var& x) const {
+  // Fused tensor path: only when plans exist and nobody is recording a graph
+  // (gradient attacks differentiate through the layer-by-layer path below).
+  if (!fused_.empty() && !ag::grad_enabled()) {
+    return fused_eval_with_taps(x.value());
+  }
   TapsOutput out;
   ag::Var h = x;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
@@ -98,13 +124,48 @@ TapsOutput MiniVGG::eval_forward_with_taps(const ag::Var& x) const {
     if (b == 4) h = apply_channel_mask(h);  // Eq. (3): mask last conv output
     out.taps.push_back(h);
   }
-  h = ag::flatten2d(h);
+  return fc_tail(h, std::move(out));
+}
+
+TapsOutput MiniVGG::fc_tail(const ag::Var& hin, TapsOutput out) const {
+  ag::Var h = ag::flatten2d(hin);
   h = ag::relu(fc1_->eval_forward(h));  // dropout is identity in eval
   out.taps.push_back(h);                // fc1
   h = ag::relu(fc2_->eval_forward(h));
   out.taps.push_back(h);                // fc2
   out.logits = head_->eval_forward(h);
   return out;
+}
+
+void MiniVGG::prepare_fused_eval() {
+  if (!fused_.empty() || !fused_eval_enabled()) return;
+  std::vector<FusedBlock> plans;
+  for (std::size_t b = 0; b < conv_layers_.size(); ++b) {
+    FusedBlock fb;
+    fb.pool = pool_after_[b] != 0;
+    for (std::size_t k = 0; k < conv_layers_[b].size(); ++k) {
+      const auto& conv = *conv_layers_[b][k];
+      FoldedBn bn;
+      if (cfg_.batch_norm) bn = bn_layers_[b][k]->folded();
+      fb.convs.emplace_back(conv.weight_value(),
+                            conv.has_bias() ? &conv.bias_value() : nullptr,
+                            conv.spec(), std::move(bn), /*relu=*/true);
+    }
+    plans.push_back(std::move(fb));
+  }
+  fused_ = std::move(plans);
+}
+
+TapsOutput MiniVGG::fused_eval_with_taps(const Tensor& x) const {
+  TapsOutput out;
+  Tensor h = x;
+  for (std::size_t b = 0; b < fused_.size(); ++b) {
+    for (const ConvEvalPlan& plan : fused_[b].convs) h = plan.run(h);
+    if (fused_[b].pool) h = maxpool2d_eval(h, 2, 2);
+    if (b == 4) h = apply_channel_mask_eval(h);
+    out.taps.push_back(ag::Var::constant(h));
+  }
+  return fc_tail(ag::Var::constant(h), std::move(out));
 }
 
 }  // namespace ibrar::models

@@ -1,5 +1,9 @@
 #include "models/wideresnet.hpp"
 
+#include <utility>
+
+#include "autograd/var.hpp"
+
 namespace ibrar::models {
 
 PreActBlock::PreActBlock(std::int64_t in_c, std::int64_t out_c,
@@ -38,6 +42,34 @@ ag::Var PreActBlock::eval_forward(const ag::Var& x) const {
   return ag::add(h, skip);
 }
 
+void PreActBlock::prepare_fused_eval() {
+  if (fconv1_) return;
+  fbn1_ = bn1_->folded();
+  fbn2_ = bn2_->folded();
+  // Pre-activation order: BN runs before each conv, so the convs themselves
+  // carry no BN epilogue; conv2 fuses the residual add (no relu — WRN blocks
+  // end on the plain sum).
+  fconv1_ = std::make_unique<ConvEvalPlan>(conv1_->weight_value(), nullptr,
+                                           conv1_->spec(), FoldedBn{},
+                                           /*relu=*/false);
+  fconv2_ = std::make_unique<ConvEvalPlan>(conv2_->weight_value(), nullptr,
+                                           conv2_->spec(), FoldedBn{},
+                                           /*relu=*/false);
+  if (proj_) {
+    fproj_ = std::make_unique<ConvEvalPlan>(proj_->weight_value(), nullptr,
+                                            proj_->spec(), FoldedBn{},
+                                            /*relu=*/false);
+  }
+}
+
+Tensor PreActBlock::fused_eval(const Tensor& x) const {
+  const Tensor pre = batch_norm_relu_eval(x, fbn1_, /*relu=*/true);
+  Tensor h = fconv1_->run(pre);
+  h = batch_norm_relu_eval(h, fbn2_, /*relu=*/true);
+  const Tensor skip = fproj_ ? fproj_->run(pre) : x;
+  return fconv2_->run(h, &skip);  // add(conv2(h), skip) in the epilogue
+}
+
 MiniWRN::MiniWRN(const WRNConfig& cfg, Rng& rng) : cfg_(cfg) {
   widths_ = {cfg_.base_width * cfg_.widen, cfg_.base_width * cfg_.widen * 2,
              cfg_.base_width * cfg_.widen * 4};
@@ -50,13 +82,16 @@ MiniWRN::MiniWRN(const WRNConfig& cfg, Rng& rng) : cfg_(cfg) {
     auto group = std::make_shared<nn::Sequential>();
     const std::int64_t out_c = widths_[g];
     const std::int64_t stride0 = g == 0 ? 1 : 2;  // 16 -> 16 -> 8 -> 4
+    std::vector<std::shared_ptr<PreActBlock>> typed;
     for (std::int64_t b = 0; b < cfg_.blocks_per_group; ++b) {
-      group->push_back(std::make_shared<PreActBlock>(b == 0 ? in_c : out_c,
-                                                     out_c,
-                                                     b == 0 ? stride0 : 1, rng));
+      auto block = std::make_shared<PreActBlock>(b == 0 ? in_c : out_c, out_c,
+                                                 b == 0 ? stride0 : 1, rng);
+      typed.push_back(block);
+      group->push_back(std::move(block));
     }
     register_module("group" + std::to_string(g + 1), group);
     groups_.push_back(std::move(group));
+    group_blocks_.push_back(std::move(typed));
     in_c = out_c;
   }
 
@@ -87,6 +122,9 @@ TapsOutput MiniWRN::forward_with_taps(const ag::Var& x) {
 }
 
 TapsOutput MiniWRN::eval_forward_with_taps(const ag::Var& x) const {
+  if (fstem_ != nullptr && !ag::grad_enabled()) {
+    return fused_eval_with_taps(x.value());
+  }
   TapsOutput out;
   ag::Var h = stem_->eval_forward(x);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
@@ -100,6 +138,36 @@ TapsOutput MiniWRN::eval_forward_with_taps(const ag::Var& x) const {
   h = ag::global_avg_pool(h);
   out.taps.push_back(h);
   out.logits = head_->eval_forward(h);
+  return out;
+}
+
+void MiniWRN::prepare_fused_eval() {
+  if (fstem_ != nullptr || !fused_eval_enabled()) return;
+  for (auto& group : group_blocks_) {
+    for (auto& block : group) block->prepare_fused_eval();
+  }
+  ffinal_bn_ = final_bn_->folded();
+  // Built last: fstem_ doubles as the "plans ready" flag the eval gate reads.
+  fstem_ = std::make_unique<ConvEvalPlan>(stem_->weight_value(), nullptr,
+                                          stem_->spec(), FoldedBn{},
+                                          /*relu=*/false);
+}
+
+TapsOutput MiniWRN::fused_eval_with_taps(const Tensor& x) const {
+  TapsOutput out;
+  Tensor h = fstem_->run(x);
+  for (std::size_t g = 0; g < group_blocks_.size(); ++g) {
+    for (const auto& block : group_blocks_[g]) h = block->fused_eval(h);
+    if (g == 2) {
+      h = batch_norm_relu_eval(h, ffinal_bn_, /*relu=*/true);
+      h = apply_channel_mask_eval(h);
+    }
+    out.taps.push_back(ag::Var::constant(h));
+  }
+  const Tensor gap = global_avg_pool(h);
+  ag::Var hv = ag::Var::constant(gap);
+  out.taps.push_back(hv);
+  out.logits = head_->eval_forward(hv);
   return out;
 }
 

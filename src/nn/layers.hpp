@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/module.hpp"
+#include "tensor/conv_eval.hpp"
 #include "tensor/im2col.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +42,11 @@ class Conv2d : public Module {
   std::int64_t out_channels() const { return out_; }
   const Conv2dSpec& spec() const { return spec_; }
 
+  /// Frozen views for the fused eval prepack (tensor/conv_eval.hpp).
+  const Tensor& weight_value() const { return weight_.value(); }
+  bool has_bias() const { return bias_.defined(); }
+  const Tensor& bias_value() const { return bias_.value(); }
+
  private:
   std::int64_t in_;
   std::int64_t out_;
@@ -57,6 +63,10 @@ class BatchNorm2d : public Module {
   ag::Var forward(const ag::Var& x) override;
   /// Reads the frozen running stats; never writes them (batch_norm2d_eval).
   ag::Var eval_forward(const ag::Var& x) const override;
+
+  /// Running stats folded for the fused eval path (tensor/conv_eval.hpp):
+  /// the same {mean, 1/sqrt(var+eps), gamma, beta} batch_norm2d_apply uses.
+  FoldedBn folded() const;
 
  private:
   std::int64_t channels_;

@@ -26,4 +26,9 @@ ag::Var BatchNorm2d::eval_forward(const ag::Var& x) const {
                                eps_);
 }
 
+FoldedBn BatchNorm2d::folded() const {
+  return fold_batch_norm(gamma_.value(), beta_.value(), running_mean_,
+                         running_var_, eps_);
+}
+
 }  // namespace ibrar::nn

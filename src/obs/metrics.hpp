@@ -95,6 +95,14 @@ class Gauge {
   void set(double v) {
     bits_.store(to_bits(v), std::memory_order_relaxed);
   }
+  /// Add d (may be negative) to the current value (CAS loop). Used for
+  /// resource gauges that track live totals, e.g. serve.snapshot_bytes.
+  void add(double d) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, to_bits(from_bits(cur) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
   /// Raise to v if v is larger than the current value (CAS loop).
   void set_max(double v) {
     std::uint64_t cur = bits_.load(std::memory_order_relaxed);

@@ -34,6 +34,8 @@ enum class Scratch : std::size_t {
   kGemmPackB,       ///< shared packed B (tensor/gemm_packed.cpp)
   kSymGramTile,     ///< C block of matmul_nt_sym, held across gemm_packed
   kServeTelemetry,  ///< per-channel energies, held across channel scoring
+  kConvPackB,       ///< implicit-im2col B strips (tensor/conv_eval.cpp)
+  kConvAccC,        ///< fused conv C accumulator block (tensor/conv_eval.cpp)
   kCount,
 };
 

@@ -7,7 +7,8 @@
 namespace ibrar::serve {
 
 std::uint64_t ModelRegistry::publish(models::TapClassifierPtr model,
-                                     Shape input_shape, std::string tag) {
+                                     Shape input_shape, std::string tag,
+                                     bool prepack) {
   if (!model) throw std::invalid_argument("ModelRegistry::publish: null model");
   if (input_shape.size() != 3) {
     throw std::invalid_argument(
@@ -15,6 +16,10 @@ std::uint64_t ModelRegistry::publish(models::TapClassifierPtr model,
         shape_str(input_shape));
   }
   model->set_training(false);
+  // Snapshot-time weight prepack: the last mutation before the model goes
+  // const. prepare_fused_eval is a no-op for dense models, already-prepared
+  // models, and under IBRAR_EVAL_FUSED=0.
+  if (prepack) model->prepare_fused_eval();
   auto snap = std::make_shared<ModelSnapshot>();
   snap->model = std::move(model);
   snap->version = next_version_.fetch_add(1, std::memory_order_relaxed);

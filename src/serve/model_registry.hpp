@@ -55,8 +55,15 @@ class ModelRegistry {
   /// Publish `model` as the new current version. The model is switched to
   /// eval mode here; `input_shape` is the per-sample (C, H, W) layout used to
   /// validate submissions. Returns the assigned version number.
+  ///
+  /// Unless `prepack` is false (or IBRAR_EVAL_FUSED=0), the model's fused
+  /// inference plans are built here — weights are packed into micro-kernel
+  /// panels exactly once per published version, then shared read-only by
+  /// every worker and micro-batch. The panel bytes are accounted in the
+  /// `serve.snapshot_bytes` gauge and released when the last pinned snapshot
+  /// of the version dies.
   std::uint64_t publish(models::TapClassifierPtr model, Shape input_shape,
-                        std::string tag = "");
+                        std::string tag = "", bool prepack = true);
 
   /// Build `spec`'s architecture, load the util/serialize checkpoint at
   /// `path` into it (shapes must match), and publish it. Returns the new

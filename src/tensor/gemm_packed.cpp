@@ -14,6 +14,14 @@ inline std::int64_t round_up(std::int64_t v, std::int64_t to) {
   return (v + to - 1) / to * to;
 }
 
+}  // namespace
+
+// Definitions live here (not the header) so every caller — gemm_packed's own
+// driver and conv_eval's fused driver — runs the exact same compiled code
+// under the same per-file optimization flags; bit-identity then follows from
+// operand values and ascending-p order alone.
+namespace gemm_detail {
+
 /// A-panel pack: rows [ic, ic+mc) x depth [pc, pc+kc) into MR-row strips,
 /// p-major within a strip (strip s holds kc * MR floats; element (p, r) of
 /// strip s is A(ic + s*MR + r, pc + p)). Rows past mc are zero-filled so the
@@ -106,7 +114,12 @@ void micro_kernel_edge(std::int64_t kc, const float* ap, const float* bp,
       c[r * ldc + j] = tile[r * kGemmNR + j];
 }
 
-}  // namespace
+}  // namespace gemm_detail
+
+using gemm_detail::micro_kernel;
+using gemm_detail::micro_kernel_edge;
+using gemm_detail::pack_a;
+using gemm_detail::pack_b;
 
 void gemm_naive(const float* a, GemmLayout la, const float* b, GemmLayout lb,
                 float* c, std::int64_t m, std::int64_t k, std::int64_t n) {

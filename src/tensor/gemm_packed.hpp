@@ -56,4 +56,32 @@ void gemm_packed(const float* a, GemmLayout la, const float* b, GemmLayout lb,
 void gemm_naive(const float* a, GemmLayout la, const float* b, GemmLayout lb,
                 float* c, std::int64_t m, std::int64_t k, std::int64_t n);
 
+/// Packing and register-tile entry points for drivers that fuse their own
+/// epilogue into the C writeback (conv_eval). These are the same compiled
+/// routines gemm_packed itself runs, so a caller that feeds them panels with
+/// the same operand values in the same ascending-p order gets bit-identical
+/// C elements — the fusion freedom is in the loop structure around the
+/// kernel, never in the per-element rounding chain.
+namespace gemm_detail {
+
+/// A-panel pack: rows [ic, ic+mc) x depth [pc, pc+kc) of op(A) into MR-row
+/// strips, p-major within a strip (strip s holds kc * MR floats; element
+/// (p, r) of strip s is A(ic + s*MR + r, pc + p)). Rows past mc zero-filled.
+void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t ic,
+            std::int64_t mc, std::int64_t pc, std::int64_t kc, float* ap);
+
+/// MR x NR register tile: extend each C element's ascending-p fma chain by
+/// kc steps from packed strips ap (kc x MR) and bp (kc x NR). C is read once
+/// before and stored once after the loop (leading dimension ldc).
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc);
+
+/// Edge-tile wrapper: same kernel on a stack tile, copying the valid mr x nr
+/// region in and out (copies don't round).
+void micro_kernel_edge(std::int64_t kc, const float* ap, const float* bp,
+                       float* c, std::int64_t ldc, std::int64_t mr,
+                       std::int64_t nr);
+
+}  // namespace gemm_detail
+
 }  // namespace ibrar

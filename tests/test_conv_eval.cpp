@@ -1,0 +1,268 @@
+// Fused inference conv path: bit-identity against the layer-by-layer eval
+// pipeline (the contract in src/tensor/conv_eval.hpp), BN-fold exactness,
+// lane-count invariance, model-level logit/tap equality for all three conv
+// classifiers, the grad-enabled fallback, the IBRAR_EVAL_FUSED escape hatch,
+// and the serve.snapshot_bytes gauge accounting of plan lifetimes.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "autograd/var.hpp"
+#include "models/registry.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/conv_eval.hpp"
+#include "tensor/random.hpp"
+#include "util/rng.hpp"
+
+namespace ibrar {
+namespace {
+
+constexpr float kEps = 1e-5f;
+
+bool bits_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+struct BnParams {
+  Tensor gamma, beta, rm, rv;
+};
+
+BnParams make_bn(std::int64_t c, Rng& rng) {
+  BnParams bn{randn({c}, rng), randn({c}, rng), randn({c}, rng),
+              randn({c}, rng)};
+  for (std::int64_t i = 0; i < c; ++i) bn.rv[i] = bn.rv[i] * bn.rv[i] + 0.25f;
+  return bn;
+}
+
+/// relu(bn(conv(x) + bias) [+ skip]) through the layer-by-layer eval ops.
+Tensor reference(const Tensor& x, const Tensor& w, const Tensor* bias,
+                 const Conv2dSpec& spec, const BnParams* bn,
+                 const Tensor* skip, bool relu) {
+  ag::NoGradGuard ng;
+  ag::Var h = ag::conv2d(ag::Var::constant(x), ag::Var::constant(w),
+                         bias != nullptr ? ag::Var::constant(*bias) : ag::Var(),
+                         spec);
+  if (bn != nullptr) {
+    h = ag::batch_norm2d_eval(h, ag::Var::constant(bn->gamma),
+                              ag::Var::constant(bn->beta), bn->rm, bn->rv,
+                              kEps);
+  }
+  if (skip != nullptr) h = ag::add(h, ag::Var::constant(*skip));
+  if (relu) h = ag::relu(h);
+  return h.value();
+}
+
+}  // namespace
+
+TEST(FoldBatchNorm, ReproducesBatchNormEvalBitExactly) {
+  Rng rng(11);
+  const Tensor x = randn({3, 7, 5, 6}, rng);
+  const BnParams bn = make_bn(7, rng);
+  const FoldedBn fold =
+      fold_batch_norm(bn.gamma, bn.beta, bn.rm, bn.rv, kEps);
+  ASSERT_TRUE(fold.defined());
+
+  ag::NoGradGuard ng;
+  const ag::Var ref = ag::batch_norm2d_eval(
+      ag::Var::constant(x), ag::Var::constant(bn.gamma),
+      ag::Var::constant(bn.beta), bn.rm, bn.rv, kEps);
+  EXPECT_TRUE(bits_equal(batch_norm_relu_eval(x, fold, false), ref.value()));
+  EXPECT_TRUE(
+      bits_equal(batch_norm_relu_eval(x, fold, true), ag::relu(ref).value()));
+}
+
+TEST(FoldBatchNorm, DefaultFoldIsUndefined) {
+  EXPECT_FALSE(FoldedBn{}.defined());
+}
+
+TEST(MaxPoolEval, MatchesMaxPool2d) {
+  Rng rng(12);
+  const Tensor x = randn({2, 3, 8, 6}, rng);
+  EXPECT_TRUE(bits_equal(maxpool2d_eval(x, 2, 2), maxpool2d(x, 2, 2).out));
+}
+
+TEST(ConvEvalPlan, BitIdenticalAcrossRaggedShapesAndBatches) {
+  struct Case {
+    const char* name;
+    std::int64_t c, h, w, f;
+    Conv2dSpec spec;
+    bool bias;
+  };
+  // Non-square, stride-2, 1x1 stride-2 projection, kernel == input, plus a
+  // deep-VGG shape whose spatial size (4) leaves NR=16 strips mostly empty
+  // at batch 1 and full at batch >= 4.
+  const std::vector<Case> cases = {
+      {"square3x3", 5, 9, 9, 7, {3, 1, 1}, true},
+      {"nonsquare", 4, 6, 10, 9, {3, 1, 1}, true},
+      {"stride2", 6, 11, 7, 8, {3, 2, 1}, true},
+      {"proj1x1s2", 8, 8, 8, 12, {1, 2, 0}, false},
+      {"kernel_eq_input", 5, 4, 4, 6, {4, 1, 0}, false},
+      {"deep_vgg", 16, 4, 4, 24, {3, 1, 1}, true},
+  };
+  const std::vector<std::int64_t> batches = {1, 2, 3, 5, 8, 32};
+  for (const auto& tc : cases) {
+    Rng rng(0x5eedu + static_cast<std::uint64_t>(tc.f));
+    const Tensor w = randn({tc.f, tc.c, tc.spec.kernel, tc.spec.kernel}, rng);
+    const Tensor bias = randn({tc.f}, rng);
+    const BnParams bn = make_bn(tc.f, rng);
+    const ConvEvalPlan plan(
+        w, tc.bias ? &bias : nullptr, tc.spec,
+        fold_batch_norm(bn.gamma, bn.beta, bn.rm, bn.rv, kEps), true);
+    EXPECT_EQ(plan.in_channels(), tc.c);
+    EXPECT_EQ(plan.out_channels(), tc.f);
+    for (const auto n : batches) {
+      Rng xrng(0x90u ^ static_cast<std::uint64_t>(n));
+      const Tensor x = randn({n, tc.c, tc.h, tc.w}, xrng);
+      const Tensor ref =
+          reference(x, w, tc.bias ? &bias : nullptr, tc.spec, &bn, nullptr,
+                    true);
+      EXPECT_TRUE(bits_equal(ref, plan.run(x)))
+          << tc.name << " batch=" << n;
+    }
+  }
+}
+
+TEST(ConvEvalPlan, ConvOnlyAndResidualSkipVariants) {
+  Rng rng(21);
+  const Conv2dSpec spec{3, 1, 1};
+  const Tensor w = randn({10, 6, 3, 3}, rng);
+  const Tensor x = randn({3, 6, 8, 8}, rng);
+  const Tensor skip = randn({3, 10, 8, 8}, rng);
+  const BnParams bn = make_bn(10, rng);
+
+  // Bare conv (WRN pre-activation blocks use these: BN runs before the conv).
+  const ConvEvalPlan bare(w, nullptr, spec, FoldedBn{}, false);
+  EXPECT_TRUE(bits_equal(reference(x, w, nullptr, spec, nullptr, nullptr,
+                                   false),
+                         bare.run(x)));
+
+  // Post-activation residual: relu(add(bn(conv(x)), skip)) fused into the
+  // epilogue (resnet BasicBlock tail).
+  const ConvEvalPlan res(w, nullptr, spec,
+                         fold_batch_norm(bn.gamma, bn.beta, bn.rm, bn.rv,
+                                         kEps),
+                         true);
+  EXPECT_TRUE(bits_equal(reference(x, w, nullptr, spec, &bn, &skip, true),
+                         res.run(x, &skip)));
+}
+
+TEST(ConvEvalPlan, LaneCountDoesNotChangeBits) {
+  Rng rng(31);
+  const Conv2dSpec spec{3, 1, 1};
+  const Tensor w = randn({12, 8, 3, 3}, rng);
+  const Tensor x = randn({8, 8, 16, 16}, rng);
+  const BnParams bn = make_bn(12, rng);
+  const ConvEvalPlan plan(
+      w, nullptr, spec, fold_batch_norm(bn.gamma, bn.beta, bn.rm, bn.rv, kEps),
+      true);
+  const std::int64_t lanes0 = runtime::num_threads();
+  runtime::set_num_threads(1);
+  const Tensor r1 = plan.run(x);
+  runtime::set_num_threads(4);
+  const Tensor r4 = plan.run(x);
+  runtime::set_num_threads(lanes0);
+  EXPECT_TRUE(bits_equal(r1, r4));
+  EXPECT_TRUE(bits_equal(r1, plan.run(x)));
+}
+
+TEST(ConvEvalModels, FusedLogitsAndTapsMatchLayerByLayer) {
+  for (const std::string name : {"vgg16", "resnet18", "wrn28"}) {
+    models::ModelSpec spec;
+    spec.name = name;
+    Rng rng_a(77), rng_b(77);  // same seed => bit-identical weights
+    auto reference_model = models::make_model(spec, rng_a);
+    auto fused_model = models::make_model(spec, rng_b);
+    reference_model->set_training(false);
+    fused_model->set_training(false);
+    EXPECT_FALSE(fused_model->fused_eval_ready());
+    fused_model->prepare_fused_eval();
+    ASSERT_TRUE(fused_model->fused_eval_ready()) << name;
+
+    ag::NoGradGuard ng;
+    for (const std::int64_t n : {1, 5}) {
+      Rng xrng(3 + static_cast<std::uint64_t>(n));
+      const ag::Var x = ag::Var::constant(
+          randn({n, spec.in_channels, spec.image_size, spec.image_size},
+                xrng));
+      const auto ref = reference_model->eval_forward_with_taps(x);
+      const auto fused = fused_model->eval_forward_with_taps(x);
+      EXPECT_TRUE(bits_equal(ref.logits.value(), fused.logits.value()))
+          << name << " logits batch=" << n;
+      ASSERT_EQ(ref.taps.size(), fused.taps.size()) << name;
+      for (std::size_t t = 0; t < ref.taps.size(); ++t) {
+        EXPECT_TRUE(bits_equal(ref.taps[t].value(), fused.taps[t].value()))
+            << name << " tap " << t << " batch=" << n;
+      }
+    }
+  }
+}
+
+TEST(ConvEvalModels, GradEnabledFallsBackToDifferentiablePath) {
+  models::ModelSpec spec;  // vgg16
+  Rng rng(99);
+  auto model = models::make_model(spec, rng);
+  model->set_training(false);
+  model->prepare_fused_eval();
+  ASSERT_TRUE(model->fused_eval_ready());
+  Rng xrng(5);
+  const Tensor x = randn({2, spec.in_channels, spec.image_size,
+                          spec.image_size}, xrng);
+
+  // Gradients on (the attack loops' mode): the reference path must run so the
+  // logits stay reachable-by-backward from the weights.
+  ASSERT_TRUE(ag::grad_enabled());
+  const auto traced = model->eval_forward_with_taps(ag::Var::constant(x));
+  EXPECT_TRUE(traced.logits.requires_grad());
+
+  // Gradients off (the serving path): the fused plans run, no graph is built,
+  // and the values are bit-identical to the traced forward.
+  ag::NoGradGuard ng;
+  const auto fused = model->eval_forward_with_taps(ag::Var::constant(x));
+  EXPECT_FALSE(fused.logits.requires_grad());
+  EXPECT_TRUE(bits_equal(traced.logits.value(), fused.logits.value()));
+}
+
+TEST(ConvEvalModels, EnvKnobDisablesPlanConstruction) {
+  ASSERT_EQ(setenv("IBRAR_EVAL_FUSED", "0", 1), 0);
+  EXPECT_FALSE(fused_eval_enabled());
+  models::ModelSpec spec;
+  Rng rng(7);
+  auto model = models::make_model(spec, rng);
+  model->set_training(false);
+  model->prepare_fused_eval();
+  EXPECT_FALSE(model->fused_eval_ready());
+  ASSERT_EQ(unsetenv("IBRAR_EVAL_FUSED"), 0);
+  EXPECT_TRUE(fused_eval_enabled());
+  // With the knob back off, the same model lowers fine.
+  model->prepare_fused_eval();
+  EXPECT_TRUE(model->fused_eval_ready());
+}
+
+TEST(ConvEvalPlan, GaugeAccountsPackedBytesAcrossMoveAndDestroy) {
+  auto& gauge = obs::registry().gauge("serve.snapshot_bytes");
+  const double base = gauge.value();
+  Rng rng(41);
+  const Tensor w = randn({8, 4, 3, 3}, rng);
+  {
+    ConvEvalPlan plan(w, nullptr, Conv2dSpec{3, 1, 1}, FoldedBn{}, false);
+    const double bytes = static_cast<double>(plan.packed_bytes());
+    EXPECT_GT(bytes, 0.0);
+    EXPECT_EQ(gauge.value(), base + bytes);
+    ConvEvalPlan moved = std::move(plan);
+    // Ownership (and accounting) moved with the panels — no double count.
+    EXPECT_EQ(gauge.value(), base + bytes);
+    EXPECT_EQ(static_cast<double>(moved.packed_bytes()), bytes);
+  }
+  EXPECT_EQ(gauge.value(), base);
+}
+
+}  // namespace ibrar

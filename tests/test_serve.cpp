@@ -221,6 +221,50 @@ TEST(ModelRegistry, CheckpointLoadFailureLeavesCurrentVersionServing) {
   EXPECT_EQ(reg.version(), 1u);
 }
 
+TEST(ModelRegistry, SnapshotBytesGaugeTracksPrepackAcrossHotSwap) {
+  // Publishing a conv model prepacks its weights into micro-kernel panels;
+  // the bytes live exactly as long as the last pinned snapshot of that
+  // version. The gauge is process-global, so assert deltas, not absolutes.
+  // Panel sizes are whole byte counts (integers in double), so the sums
+  // compare exactly.
+  auto& gauge = obs::registry().gauge("serve.snapshot_bytes");
+  const double base = gauge.value();
+  models::ModelSpec spec;  // vgg16
+  spec.image_size = 8;
+  {
+    serve::ModelRegistry reg;
+    Rng rng1(1);
+    reg.publish(models::make_model(spec, rng1), {3, 8, 8}, "v1");
+    const double v1_bytes = gauge.value() - base;
+    EXPECT_GT(v1_bytes, 0.0);
+    EXPECT_TRUE(reg.current()->model->fused_eval_ready());
+
+    // Pin v1 like an in-flight batch would, then hot-swap to v2: both
+    // versions' panels are live until the pin drops.
+    auto pinned_v1 = reg.current();
+    Rng rng2(2);
+    reg.publish(models::make_model(spec, rng2), {3, 8, 8}, "v2");
+    EXPECT_EQ(gauge.value(), base + 2 * v1_bytes);  // same architecture
+    pinned_v1.reset();  // last holder of v1 -> its panels release
+    EXPECT_EQ(gauge.value(), base + v1_bytes);
+  }
+  // Registry gone: the final version's panels release too.
+  EXPECT_EQ(gauge.value(), base);
+}
+
+TEST(ModelRegistry, PublishWithoutPrepackBuildsNoPlans) {
+  auto& gauge = obs::registry().gauge("serve.snapshot_bytes");
+  const double base = gauge.value();
+  models::ModelSpec spec;  // vgg16
+  spec.image_size = 8;
+  serve::ModelRegistry reg;
+  Rng rng(3);
+  reg.publish(models::make_model(spec, rng), {3, 8, 8}, "ref",
+              /*prepack=*/false);
+  EXPECT_EQ(gauge.value(), base);
+  EXPECT_FALSE(reg.current()->model->fused_eval_ready());
+}
+
 // ---- server -----------------------------------------------------------------
 
 serve::ServeConfig quick_config() {
