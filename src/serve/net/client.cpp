@@ -1,6 +1,9 @@
 #include "serve/net/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -10,7 +13,9 @@
 
 namespace ibrar::serve::net {
 
-Client::Client(const std::string& host, std::uint16_t port) {
+Client::Client(const std::string& host, std::uint16_t port,
+               std::uint64_t client_id)
+    : client_id_(client_id) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("net::Client: socket() failed");
   sockaddr_in addr{};
@@ -36,11 +41,17 @@ Client::~Client() {
 std::uint64_t Client::send(const Tensor& input) {
   SubmitFrame f;
   f.id = next_id_++;
+  f.client_id = client_id_;
   f.input = input;
   if (!write_frame(fd_, encode_submit(f))) {
     throw std::runtime_error("net::Client: connection lost on send");
   }
   return f.id;
+}
+
+void Client::honor_retry_after(int max_attempts, std::uint32_t max_sleep_ms) {
+  retry_attempts_ = max_attempts > 1 ? max_attempts : 1;
+  retry_max_sleep_ms_ = max_sleep_ms;
 }
 
 ReplyFrame Client::recv() {
@@ -51,12 +62,24 @@ ReplyFrame Client::recv() {
 }
 
 ReplyFrame Client::submit(const Tensor& input) {
-  const std::uint64_t id = send(input);
-  ReplyFrame f = recv();
-  if (f.id != id) {
-    throw std::runtime_error("net::Client: reply id mismatch");
+  for (int attempt = 1;; ++attempt) {
+    const std::uint64_t id = send(input);
+    ReplyFrame f = recv();
+    if (f.id != id) {
+      throw std::runtime_error("net::Client: reply id mismatch");
+    }
+    if (f.status != WireStatus::kBusyRetryAfter ||
+        attempt >= retry_attempts_) {
+      return f;
+    }
+    // Busy with a hint and budget left: sleep what the server asked (capped)
+    // and go again. A zero hint still backs off minimally to avoid a hot
+    // retry spin.
+    const std::uint32_t ms =
+        std::max<std::uint32_t>(1, std::min(f.retry_after_ms,
+                                            retry_max_sleep_ms_));
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   }
-  return f;
 }
 
 }  // namespace ibrar::serve::net

@@ -29,8 +29,11 @@ namespace ibrar::serve::net {
 class Client {
  public:
   /// Connect to host:port (TCP_NODELAY on). Throws std::runtime_error when
-  /// the connection cannot be established.
-  Client(const std::string& host, std::uint16_t port);
+  /// the connection cannot be established. `client_id` is this client's
+  /// admission identity, stamped into every submit frame — connections
+  /// sharing an id share one server-side fairness budget.
+  Client(const std::string& host, std::uint16_t port,
+         std::uint64_t client_id = 0);
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -44,11 +47,25 @@ class Client {
   ReplyFrame recv();
 
   /// One blocking round-trip (send + recv with no other requests in flight).
+  /// In honor-retry-after mode a kBusyRetryAfter reply makes submit() sleep
+  /// the server's hint and resend (fresh correlation id), up to the attempt
+  /// budget — the CUPS retry discipline; the last busy reply is returned if
+  /// the budget runs out.
   ReplyFrame submit(const Tensor& input);
+
+  /// Enable/disable honoring kBusyRetryAfter in submit(). `max_attempts`
+  /// counts total sends (so 1 disables retrying). Sleeps are capped at
+  /// `max_sleep_ms` per retry to bound worst-case blocking.
+  void honor_retry_after(int max_attempts, std::uint32_t max_sleep_ms = 1000);
+
+  std::uint64_t client_id() const { return client_id_; }
 
  private:
   int fd_ = -1;
   std::uint64_t next_id_ = 0;
+  std::uint64_t client_id_ = 0;
+  int retry_attempts_ = 1;  ///< total submit() sends; 1 = no retries
+  std::uint32_t retry_max_sleep_ms_ = 1000;
   std::vector<std::uint8_t> recv_buf_;
 };
 

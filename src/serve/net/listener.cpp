@@ -128,7 +128,7 @@ void TcpFrontend::reader_loop(const std::shared_ptr<Connection>& conn) {
       pr.id = frame.id;
       c_frames.inc();
       try {
-        pr.fut = server_.submit(std::move(frame.input));
+        pr.fut = server_.submit(std::move(frame.input), frame.client_id);
       } catch (const std::invalid_argument&) {
         // Well-framed but unservable (shape mismatch): answer, don't die.
         pr.bad = true;

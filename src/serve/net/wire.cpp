@@ -91,6 +91,8 @@ WireStatus to_wire(ReplyStatus s) {
       return WireStatus::kRejectedShutdown;
     case ReplyStatus::kRejectedStaleShape:
       return WireStatus::kRejectedStaleShape;
+    case ReplyStatus::kBusyRetryAfter:
+      return WireStatus::kBusyRetryAfter;
   }
   return WireStatus::kBadRequest;  // unreachable with a valid enum
 }
@@ -108,7 +110,12 @@ ReplyFrame make_reply_frame(std::uint64_t id, const Reply& reply) {
   f.sampled = reply.telemetry.sampled;
   f.suspicion = reply.telemetry.suspicion;
   f.score_epoch = reply.telemetry.score_epoch;
-  if (reply.logits.numel() > 0) {
+  f.cached = reply.cached;
+  f.retry_after_ms = reply.retry_after_ms;
+  // rank() > 0 is the emptiness convention: a default Tensor is a rank-0
+  // scalar with numel() == 1, and a failure reply must not ship that byte
+  // pattern as a one-float logit vector.
+  if (reply.logits.rank() > 0 && reply.logits.numel() > 0) {
     f.logits.assign(reply.logits.data().begin(), reply.logits.data().end());
   }
   return f;
@@ -119,10 +126,11 @@ std::vector<std::uint8_t> encode_submit(const SubmitFrame& f) {
     throw std::invalid_argument("encode_submit: input must be (C, H, W)");
   }
   std::vector<std::uint8_t> buf;
-  buf.reserve(1 + 8 + 12 +
+  buf.reserve(1 + 8 + 8 + 12 +
               sizeof(float) * static_cast<std::size_t>(f.input.numel()));
   put<std::uint8_t>(buf, kFrameSubmit);
   put<std::uint64_t>(buf, f.id);
+  put<std::uint64_t>(buf, f.client_id);
   for (int d = 0; d < 3; ++d) {
     put<std::uint32_t>(buf, static_cast<std::uint32_t>(f.input.dim(d)));
   }
@@ -152,6 +160,8 @@ std::vector<std::uint8_t> encode_reply(const ReplyFrame& f) {
   put<std::uint8_t>(buf, f.sampled ? 1 : 0);
   put<float>(buf, f.suspicion);
   put<std::uint64_t>(buf, f.score_epoch);
+  put<std::uint8_t>(buf, f.cached ? 1 : 0);
+  put<std::uint32_t>(buf, f.retry_after_ms);
   put<std::uint32_t>(buf, static_cast<std::uint32_t>(f.logits.size()));
   const std::size_t at = buf.size();
   buf.resize(at + sizeof(float) * f.logits.size());
@@ -170,6 +180,7 @@ SubmitFrame decode_submit(const std::uint8_t* p, std::size_t n) {
   }
   SubmitFrame f;
   f.id = c.get<std::uint64_t>();
+  f.client_id = c.get<std::uint64_t>();
   Shape shape(3);
   std::int64_t numel = 1;
   for (int d = 0; d < 3; ++d) {
@@ -199,7 +210,7 @@ ReplyFrame decode_reply(const std::uint8_t* p, std::size_t n) {
   ReplyFrame f;
   f.id = c.get<std::uint64_t>();
   const auto status = c.get<std::uint8_t>();
-  if (status > static_cast<std::uint8_t>(WireStatus::kBadRequest)) {
+  if (status > static_cast<std::uint8_t>(WireStatus::kBusyRetryAfter)) {
     throw std::runtime_error("decode_reply: unknown status");
   }
   f.status = static_cast<WireStatus>(status);
@@ -212,6 +223,8 @@ ReplyFrame decode_reply(const std::uint8_t* p, std::size_t n) {
   f.sampled = c.get<std::uint8_t>() != 0;
   f.suspicion = c.get<float>();
   f.score_epoch = c.get<std::uint64_t>();
+  f.cached = c.get<std::uint8_t>() != 0;
+  f.retry_after_ms = c.get<std::uint32_t>();
   const auto num_logits = c.get<std::uint32_t>();
   if (static_cast<std::size_t>(num_logits) * sizeof(float) > kMaxFrameBytes) {
     throw std::runtime_error("decode_reply: logits exceed frame cap");

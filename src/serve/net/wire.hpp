@@ -4,13 +4,21 @@
 // Every frame on the socket is a u32 little-endian payload length followed by
 // that many payload bytes. The payload's first byte is the frame type:
 //
-//   submit (type 1):  u8 type | u64 id | u32 C | u32 H | u32 W
-//                     | C*H*W f32 row-major pixels
+//   submit (type 1):  u8 type | u64 id | u64 client_id
+//                     | u32 C | u32 H | u32 W | C*H*W f32 row-major pixels
 //   reply  (type 2):  u8 type | u64 id | u8 status | u64 model_version
 //                     | i64 argmax | i64 queue_ns | i64 compute_ns
 //                     | i64 batch_size | u8 trigger | u8 sampled
-//                     | f32 suspicion | u64 score_epoch
+//                     | f32 suspicion | u64 score_epoch | u8 cached
+//                     | u32 retry_after_ms
 //                     | u32 num_logits | num_logits f32 logits
+//
+// `client_id` names the principal for per-client admission fairness (token
+// buckets, in-flight caps) — connections sharing a client id share one
+// budget. `cached` marks replies served from the duplicate-request reply
+// cache (logits still bit-identical to a recompute). `retry_after_ms`
+// accompanies WireStatus::kBusyRetryAfter: the server's computed back-off
+// hint, which Client's honor-retry-after mode sleeps on before resending.
 //
 // All integers and floats are little-endian; floats cross the wire as raw
 // IEEE-754 bits, so the bit-identity contract (memcmp-identical logits) holds
@@ -55,13 +63,16 @@ enum class WireStatus : std::uint8_t {
   kRejectedShutdown = 2,
   kRejectedStaleShape = 3,
   kBadRequest = 4,
+  kBusyRetryAfter = 5,  ///< overloaded/throttled; see ReplyFrame::retry_after_ms
 };
 
 WireStatus to_wire(ReplyStatus s);
 
-/// One decoded submit frame: client correlation id + the (C, H, W) sample.
+/// One decoded submit frame: client correlation id, the client's admission
+/// identity, and the (C, H, W) sample.
 struct SubmitFrame {
   std::uint64_t id = 0;
+  std::uint64_t client_id = 0;
   Tensor input{Shape{0}};
 };
 
@@ -78,6 +89,8 @@ struct ReplyFrame {
   bool sampled = false;           ///< telemetry.sampled
   float suspicion = -1.0f;        ///< telemetry.suspicion
   std::uint64_t score_epoch = 0;  ///< telemetry.score_epoch
+  bool cached = false;            ///< served from the reply cache
+  std::uint32_t retry_after_ms = 0;  ///< back-off hint with kBusyRetryAfter
   std::vector<float> logits;
 
   bool ok() const { return status == WireStatus::kOk; }

@@ -16,12 +16,18 @@ namespace ibrar::serve {
 
 enum class ReplyStatus {
   kOk = 0,
-  kRejectedQueueFull,   ///< backpressure: admission queue at capacity
+  /// Legacy hard backpressure: admission queue at capacity, no retry hint.
+  /// Only emitted when ServeConfig::busy_on_full is off.
+  kRejectedQueueFull,
   kRejectedShutdown,    ///< server no longer accepting (draining or stopped)
   /// The request was admitted against an older model version whose input
   /// layout no longer matches the snapshot serving its batch (a hot-swap
   /// changed the expected (C, H, W) while the request sat queued).
   kRejectedStaleShape,
+  /// Overloaded (queue full) or this client is over its fair share (token
+  /// bucket / in-flight cap) — come back in Reply::retry_after_ms. The CUPS
+  /// server-error-busy shape: the server says WHEN, not just no.
+  kBusyRetryAfter,
 };
 
 /// Why the micro-batch this request rode in was released to the model.
@@ -54,6 +60,14 @@ struct Reply {
   std::int64_t batch_size = 0;      ///< rows in the micro-batch served with
   BatchTrigger trigger = BatchTrigger::kSize;
   RequestTelemetry telemetry;
+  /// Served from the duplicate-request reply cache (hit or in-flight join).
+  /// Cached logits are memcmp-identical to a recompute by contract;
+  /// queue_ns/compute_ns/batch_size read 0 — no compute was spent on this
+  /// request.
+  bool cached = false;
+  /// With kBusyRetryAfter: suggested back-off before retrying, derived from
+  /// queue depth / measured service rate (or the client's token deficit).
+  std::uint32_t retry_after_ms = 0;
 
   bool ok() const { return status == ReplyStatus::kOk; }
 };

@@ -34,6 +34,13 @@ struct Request {
   std::promise<Reply> promise;  ///< fulfilled by the worker (or at rejection)
   std::int64_t enqueue_ns = 0;  ///< steady-clock stamp at admission
   std::uint64_t index = 0;      ///< admission sequence number (telemetry cadence)
+  std::uint64_t client_id = 0;  ///< wire-frame client id (admission fairness)
+  /// Reply-cache leadership (see serve/reply_cache.hpp): this request
+  /// installed the in-flight dedup entry at (cache_hash, cache_version) and
+  /// owes the cache exactly one complete()/abort() when its reply resolves.
+  bool cache_leader = false;
+  std::uint64_t cache_hash = 0;
+  std::uint64_t cache_version = 0;
 };
 
 enum class PushStatus {

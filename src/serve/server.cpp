@@ -32,6 +32,14 @@ ServeConfig ServeConfig::from_env() {
   cfg.deadline_us = env::get_int("IBRAR_SERVE_DEADLINE_US", 2000);
   cfg.queue_capacity = env::get_int("IBRAR_SERVE_QUEUE_CAP", 256);
   cfg.workers = env::get_int("IBRAR_SERVE_WORKERS", 1);
+  // Deployment-facing default: the duplicate-request cache is ON. Safe to
+  // default because hits are memcmp-identical to recomputes by contract.
+  const long cache_mb =
+      std::max(0L, env::get_int("IBRAR_SERVE_CACHE_MB", 32));
+  cfg.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  cfg.client_rate = env::get_double("IBRAR_SERVE_CLIENT_RATE", 0.0);
+  cfg.client_burst = env::get_double("IBRAR_SERVE_CLIENT_BURST", 0.0);
+  cfg.max_inflight_per_client = env::get_int("IBRAR_SERVE_MAX_INFLIGHT", 0);
   return cfg;
 }
 
@@ -46,6 +54,9 @@ Server::Server(ModelRegistry& registry, ServeConfig cfg)
       }()),
       queue_(static_cast<std::size_t>(cfg_.queue_capacity)),
       monitor_(cfg_.telemetry),
+      cache_(ReplyCacheConfig{cfg_.cache_bytes, /*shards=*/8}),
+      admission_(AdmissionConfig{cfg_.client_rate, cfg_.client_burst,
+                                 cfg_.max_inflight_per_client}),
       c_accepted_(obs::registry().counter("serve.accepted")),
       c_rejected_full_(obs::registry().counter("serve.rejected_full")),
       c_rejected_shutdown_(obs::registry().counter("serve.rejected_shutdown")),
@@ -56,6 +67,11 @@ Server::Server(ModelRegistry& registry, ServeConfig cfg)
       c_deadline_triggers_(obs::registry().counter("serve.trigger.deadline")),
       c_drain_triggers_(obs::registry().counter("serve.trigger.drain")),
       c_telemetry_samples_(obs::registry().counter("serve.telemetry.samples")),
+      c_admission_busy_(obs::registry().counter("serve.admission.busy")),
+      c_admission_throttled_(
+          obs::registry().counter("serve.admission.throttled")),
+      h_retry_after_ms_(
+          obs::registry().histogram("serve.admission.retry_after_ms")),
       g_queue_depth_(obs::registry().gauge("serve.queue_depth")),
       g_batch_max_(obs::registry().gauge("serve.batch_max")),
       h_queue_wait_ns_(obs::registry().histogram("serve.queue_wait_ns")),
@@ -89,9 +105,22 @@ void Server::shutdown() {
   // The workers have drained every accepted request; pin the gauge to the
   // true (empty) depth so dashboards never show a stale residue after stop.
   g_queue_depth_.set(0.0);
+  // Same freshness contract for the cache: dropping every entry walks
+  // serve.cache.bytes back down by exactly this server's contribution, so
+  // the gauge reads 0 after shutdown (gated in test_reply_cache).
+  cache_.clear();
 }
 
-std::future<Reply> Server::submit(Tensor input) {
+void Server::fail_request(Request& r, Reply reply) {
+  if (r.cache_leader) {
+    // Joiners piled onto this request's in-flight entry get the same
+    // rejection — they were dedup'd onto a compute that never happened.
+    cache_.abort(r.cache_hash, r.cache_version, reply);
+  }
+  r.promise.set_value(std::move(reply));
+}
+
+std::future<Reply> Server::submit(Tensor input, std::uint64_t client_id) {
   const std::int64_t t_submit = now_ns();
   const auto snap = registry_.current();
   // Accept (C, H, W) or (1, C, H, W); anything else is a caller bug, not
@@ -110,11 +139,52 @@ std::future<Reply> Server::submit(Tensor input) {
 
   Request r;
   r.input = std::move(input);
+  r.client_id = client_id;
   r.enqueue_ns = now_ns();
   // r.index is assigned by the queue on admission, so the telemetry and trace
   // cadences are over accepted traffic (rejections never consume a sequence
   // number).
   std::future<Reply> fut = r.promise.get_future();
+
+  // Duplicate-request cache, BEFORE admission: hits and in-flight joins are
+  // served without compute, so they consume no queue capacity and no
+  // admission tokens. The nfs_dupreq flow — answer from the cache, join the
+  // in-flight twin, or become the leader that computes for everyone.
+  if (cache_.enabled()) {
+    cache_.on_version(snap->version);
+    const std::uint64_t h = ReplyCache::hash_input(r.input);
+    auto lk = cache_.lookup_or_join(h, r.input, snap->version, r.promise);
+    switch (lk.outcome) {
+      case ReplyCache::Outcome::kHit:
+        r.promise.set_value(std::move(lk.reply));
+        return fut;
+      case ReplyCache::Outcome::kJoined:
+        return fut;  // the promise now rides the leader's compute
+      case ReplyCache::Outcome::kLeader:
+        r.cache_leader = true;
+        r.cache_hash = h;
+        r.cache_version = snap->version;
+        break;
+      case ReplyCache::Outcome::kBypass:
+        break;
+    }
+  }
+
+  // Per-client fairness: one client over its token rate or in-flight cap is
+  // told when to come back; everyone else is untouched.
+  if (admission_.enabled()) {
+    const auto dec = admission_.try_admit(client_id, r.enqueue_ns);
+    if (!dec.admit) {
+      c_admission_throttled_.inc();
+      h_retry_after_ms_.observe(static_cast<double>(dec.retry_after_ms));
+      Reply reply;
+      reply.status = ReplyStatus::kBusyRetryAfter;
+      reply.retry_after_ms = dec.retry_after_ms;
+      reply.model_version = snap->version;
+      fail_request(r, std::move(reply));
+      return fut;
+    }
+  }
 
   switch (queue_.push(r)) {
     case PushStatus::kAccepted:
@@ -128,23 +198,34 @@ std::future<Reply> Server::submit(Tensor input) {
       break;
     case PushStatus::kFull: {
       c_rejected_full_.inc();
+      admission_.release(client_id);  // the in-flight slot was never used
       // Refresh the depth gauge on rejection too: under sustained overload
       // every push can be rejected, and the gauge would otherwise freeze at
       // whatever the last accepted push recorded.
       g_queue_depth_.set(static_cast<double>(queue_.size()));
       Reply reply;
-      reply.status = ReplyStatus::kRejectedQueueFull;
       reply.model_version = snap->version;
-      r.promise.set_value(std::move(reply));
+      if (cfg_.busy_on_full) {
+        // CUPS-style busy: say WHEN to come back — roughly how long the
+        // backlog ahead takes to drain at the measured service rate.
+        reply.status = ReplyStatus::kBusyRetryAfter;
+        reply.retry_after_ms = admission_.retry_after_ms(queue_.size());
+        c_admission_busy_.inc();
+        h_retry_after_ms_.observe(static_cast<double>(reply.retry_after_ms));
+      } else {
+        reply.status = ReplyStatus::kRejectedQueueFull;
+      }
+      fail_request(r, std::move(reply));
       break;
     }
     case PushStatus::kClosed: {
       c_rejected_shutdown_.inc();
+      admission_.release(client_id);
       g_queue_depth_.set(static_cast<double>(queue_.size()));
       Reply reply;
       reply.status = ReplyStatus::kRejectedShutdown;
       reply.model_version = snap->version;
-      r.promise.set_value(std::move(reply));
+      fail_request(r, std::move(reply));
       break;
     }
   }
@@ -184,6 +265,10 @@ void Server::serve_batch(MicroBatch& batch) {
       reply.status = ReplyStatus::kRejectedStaleShape;
       reply.model_version = snap->version;
       c_rejected_stale_.inc();
+      if (req.cache_leader) {
+        cache_.abort(req.cache_hash, req.cache_version, reply);
+      }
+      admission_.release(req.client_id);
       req.promise.set_value(std::move(reply));
     }
   }
@@ -232,6 +317,8 @@ void Server::serve_batch(MicroBatch& batch) {
   if (traced_batch) {
     obs::record_span("compute", batch.assemble_end_ns, t1, trace_corr);
   }
+  // Feed the service-rate EWMA the busy retry-after hints are derived from.
+  admission_.note_batch(bsz, t1);
   const auto preds = argmax_rows(logits);
   const std::int64_t nc = logits.dim(1);
 
@@ -300,6 +387,13 @@ void Server::serve_batch(MicroBatch& batch) {
         h_suspicion_.observe(static_cast<double>(reply.telemetry.suspicion));
       }
     }
+    // Cache completion BEFORE resolving the leader's own promise: fan the
+    // reply to every in-flight joiner and store it for future hits (the
+    // cache normalizes + copies; the leader keeps this Reply intact).
+    if (req.cache_leader) {
+      cache_.complete(req.cache_hash, req.cache_version, reply);
+    }
+    admission_.release(req.client_id);
     {
       obs::Span reply_span("reply", traced_req, req.index);
       req.promise.set_value(std::move(reply));
@@ -319,6 +413,17 @@ ServerStats Server::read_totals() const {
   s.deadline_triggers = c_deadline_triggers_.value();
   s.drain_triggers = c_drain_triggers_.value();
   s.telemetry_samples = c_telemetry_samples_.value();
+  // Cache/admission counters: resolved by name — read_totals runs at
+  // construction and inside stats(), never on the serving hot path.
+  auto& reg = obs::registry();
+  s.cache_lookups = reg.counter("serve.cache.lookups").value();
+  s.cache_hits = reg.counter("serve.cache.hits").value();
+  s.cache_misses = reg.counter("serve.cache.misses").value();
+  s.cache_inflight_joins = reg.counter("serve.cache.inflight_joins").value();
+  s.cache_evictions = reg.counter("serve.cache.evictions").value();
+  s.cache_invalidations = reg.counter("serve.cache.invalidations").value();
+  s.admission_busy = c_admission_busy_.value();
+  s.admission_throttled = c_admission_throttled_.value();
   return s;
 }
 
@@ -334,6 +439,14 @@ ServerStats Server::stats() const {
   s.deadline_triggers -= base_.deadline_triggers;
   s.drain_triggers -= base_.drain_triggers;
   s.telemetry_samples -= base_.telemetry_samples;
+  s.cache_lookups -= base_.cache_lookups;
+  s.cache_hits -= base_.cache_hits;
+  s.cache_misses -= base_.cache_misses;
+  s.cache_inflight_joins -= base_.cache_inflight_joins;
+  s.cache_evictions -= base_.cache_evictions;
+  s.cache_invalidations -= base_.cache_invalidations;
+  s.admission_busy -= base_.admission_busy;
+  s.admission_throttled -= base_.admission_throttled;
   s.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
   return s;
 }

@@ -21,10 +21,28 @@
 // backlog listener, length-prefixed framing, client helper); it feeds this
 // same queue through submit().
 //
+// Duplicate-request reply cache (serve/reply_cache.hpp): when
+// cfg.cache_bytes > 0, submit() hashes the input bytes and looks up
+// (hash, snapshot version) BEFORE admission — a hit answers instantly with
+// logits memcmp-identical to a recompute, concurrent identical requests join
+// one in-flight compute, and a hot-swap invalidates stale versions. Cache
+// hits consume no queue capacity and no admission tokens (they cost no
+// compute).
+//
+// Admission control (serve/admission.hpp): per-client token buckets and
+// in-flight caps keyed on the client id (0 for in-process callers without
+// one), plus busy-instead-of-reject — with cfg.busy_on_full (default on) a
+// full queue answers kBusyRetryAfter carrying a retry-after hint computed
+// from queue depth / measured service rate, instead of the hint-less
+// kRejectedQueueFull.
+//
 // Observability (src/obs): the server records into the process-global
 // obs::registry() — serve.* counters for admission/trigger/telemetry events,
-// serve.queue_depth / serve.batch_max gauges, and latency histograms
-// serve.queue_wait_ns / serve.compute_ns / serve.batch_occupancy /
+// serve.cache.{lookups,hits,misses,inflight_joins,evictions,invalidations}
+// with the serve.cache.bytes / serve.cache.budget_bytes gauges,
+// serve.admission.{busy,throttled} with the serve.admission.retry_after_ms
+// histogram, serve.queue_depth / serve.batch_max gauges, and latency
+// histograms serve.queue_wait_ns / serve.compute_ns / serve.batch_occupancy /
 // serve.suspicion (full name table in README). Per model version it bumps
 // serve.version.<v>.requests and serve.version.<v>.compute_ns. When request
 // tracing is on (IBRAR_OBS_TRACE_SAMPLE=K), every Kth admitted request emits
@@ -38,6 +56,10 @@
 //   IBRAR_SERVE_DEADLINE_US  batch assembly deadline, us    (default 2000)
 //   IBRAR_SERVE_QUEUE_CAP    admission queue capacity       (default 256)
 //   IBRAR_SERVE_WORKERS      worker threads over the queue  (default 1)
+//   IBRAR_SERVE_CACHE_MB     reply cache budget, MiB        (default 32; 0 off)
+//   IBRAR_SERVE_CLIENT_RATE  per-client tokens/sec          (default 0 = off)
+//   IBRAR_SERVE_CLIENT_BURST token bucket depth             (default derived)
+//   IBRAR_SERVE_MAX_INFLIGHT per-client in-flight cap       (default 0 = off)
 //   IBRAR_OBS_TRACE_SAMPLE   trace every Kth request        (default 0 = off)
 //
 // Shutdown is graceful: shutdown() (or the destructor) closes the queue, the
@@ -51,8 +73,10 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/admission.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/reply_cache.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/telemetry.hpp"
 
@@ -69,9 +93,23 @@ struct ServeConfig {
   /// Safe with telemetry at any count — forwards are strictly const.
   std::int64_t workers = 1;
   TelemetryConfig telemetry;  ///< telemetry.sample_every == 0 -> off
+  /// Reply-cache byte budget; 0 disables caching. The programmatic default
+  /// is OFF (a library user opts in); from_env() defaults it ON at 32 MiB —
+  /// the deployment-facing default, overridable with IBRAR_SERVE_CACHE_MB.
+  std::size_t cache_bytes = 0;
+  /// Per-client token-bucket rate, requests/sec; 0 = unlimited.
+  double client_rate = 0.0;
+  /// Token bucket depth; <= 0 derives max(client_rate, 1).
+  double client_burst = 0.0;
+  /// Per-client in-flight cap; 0 = unlimited.
+  std::int64_t max_inflight_per_client = 0;
+  /// Full queue answers kBusyRetryAfter + hint (default) instead of the
+  /// legacy hint-less kRejectedQueueFull.
+  bool busy_on_full = true;
 
   /// Defaults overridden by IBRAR_SERVE_MAX_BATCH / _DEADLINE_US /
-  /// _QUEUE_CAP / _WORKERS.
+  /// _QUEUE_CAP / _WORKERS / _CACHE_MB / _CLIENT_RATE / _CLIENT_BURST /
+  /// _MAX_INFLIGHT.
   static ServeConfig from_env();
 };
 
@@ -94,6 +132,16 @@ struct ServerStats {
   std::uint64_t drain_triggers = 0;
   std::uint64_t max_batch_observed = 0;
   std::uint64_t telemetry_samples = 0;
+  // Reply cache + admission control (PR 9). cache_hits includes
+  // cache_inflight_joins; cache_hits + cache_misses == cache_lookups.
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inflight_joins = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t admission_busy = 0;       ///< queue-full busy replies
+  std::uint64_t admission_throttled = 0;  ///< per-client denials
 };
 
 class Server {
@@ -109,7 +157,9 @@ class Server {
   /// future that resolves to the reply; under backpressure or shutdown the
   /// future is already resolved with the rejection status. Throws
   /// std::invalid_argument for a shape the current model cannot take.
-  std::future<Reply> submit(Tensor input);
+  /// `client_id` feeds per-client admission fairness (the TCP front-end
+  /// passes the wire frame's id; in-process callers may share the default 0).
+  std::future<Reply> submit(Tensor input, std::uint64_t client_id = 0);
 
   /// Stop admission, drain accepted requests, join workers. Idempotent.
   void shutdown();
@@ -117,16 +167,23 @@ class Server {
   ServerStats stats() const;
   const ServeConfig& config() const { return cfg_; }
   RobustnessMonitor& monitor() { return monitor_; }
+  ReplyCache& cache() { return cache_; }
+  AdmissionController& admission() { return admission_; }
 
  private:
   void worker_loop();
   void serve_batch(MicroBatch& batch);
+  /// Resolve a request rejected before the queue: aborts its cache
+  /// leadership (fanning `reply` to any joiners) and fails its promise.
+  void fail_request(Request& r, Reply reply);
   ServerStats read_totals() const;  ///< cumulative registry values
 
   ModelRegistry& registry_;
   ServeConfig cfg_;
   RequestQueue queue_;
   RobustnessMonitor monitor_;
+  ReplyCache cache_;
+  AdmissionController admission_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 
@@ -142,6 +199,9 @@ class Server {
   obs::Counter& c_deadline_triggers_;
   obs::Counter& c_drain_triggers_;
   obs::Counter& c_telemetry_samples_;
+  obs::Counter& c_admission_busy_;
+  obs::Counter& c_admission_throttled_;
+  obs::Histogram& h_retry_after_ms_;
   obs::Gauge& g_queue_depth_;
   obs::Gauge& g_batch_max_;
   obs::Histogram& h_queue_wait_ns_;

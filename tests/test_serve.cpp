@@ -310,7 +310,7 @@ TEST(Server, ShutdownDrainsEveryAcceptedRequest) {
       ++ok;
     } else {
       ++rejected;  // backpressure is legal; dropping accepted work is not
-      EXPECT_EQ(r.status, serve::ReplyStatus::kRejectedQueueFull);
+      EXPECT_EQ(r.status, serve::ReplyStatus::kBusyRetryAfter);
     }
   }
   const auto stats = server->stats();
@@ -349,7 +349,11 @@ TEST(Server, BackpressureRejectsWithStatusUnderFlood) {
     const auto r = f.get();
     if (r.status == serve::ReplyStatus::kOk) ++ok;
     else {
-      EXPECT_EQ(r.status, serve::ReplyStatus::kRejectedQueueFull);
+      // The default overload answer is busy + retry hint, never a bare
+      // queue-full (CUPS server-error-busy semantics).
+      EXPECT_EQ(r.status, serve::ReplyStatus::kBusyRetryAfter);
+      EXPECT_GE(r.retry_after_ms, 1u);
+      EXPECT_LE(r.retry_after_ms, 5000u);
       ++rejected;
     }
   }
@@ -358,6 +362,43 @@ TEST(Server, BackpressureRejectsWithStatusUnderFlood) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.accepted, ok);
   EXPECT_EQ(stats.rejected_full, rejected);
+  EXPECT_EQ(stats.admission_busy, rejected);
+}
+
+TEST(Server, LegacyQueueFullStatusWhenBusyOnFullDisabled) {
+  // Deployments that keyed off kRejectedQueueFull can opt out of the busy
+  // protocol; the status (and only the status) reverts.
+  serve::ModelRegistry reg;
+  models::ModelSpec spec;
+  spec.name = "vgg16";
+  spec.num_classes = kClasses;
+  spec.image_size = 8;
+  spec.in_channels = kChannels;
+  Rng rng(5);
+  reg.publish(models::make_model(spec, rng), {kChannels, 8, 8});
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.deadline_us = 0;
+  cfg.queue_capacity = 4;
+  cfg.busy_on_full = false;
+  serve::Server server(reg, cfg);
+  Rng in_rng(17);
+  const Tensor x = rand_uniform({kChannels, 8, 8}, in_rng, 0.0f, 1.0f);
+  std::vector<std::future<serve::Reply>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(server.submit(x));
+  std::size_t rejected = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status, serve::ReplyStatus::kRejectedQueueFull);
+      EXPECT_EQ(r.retry_after_ms, 0u);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(server.stats().admission_busy, 0u);
+  EXPECT_EQ(server.stats().rejected_full, rejected);
 }
 
 TEST(Server, BatchedLogitsBitIdenticalToSingleton) {
@@ -598,6 +639,33 @@ TEST(Server, FromEnvReadsWorkersKnob) {
   EXPECT_EQ(serve::ServeConfig::from_env().workers, 3);
   ASSERT_EQ(::unsetenv("IBRAR_SERVE_WORKERS"), 0);
   EXPECT_EQ(serve::ServeConfig::from_env().workers, 1);
+}
+
+TEST(Server, FromEnvReadsCacheAndAdmissionKnobs) {
+  // CI pins IBRAR_SERVE_CACHE_MB per sanitizer step, so save whatever is
+  // there, clear it to observe the real defaults, and restore afterwards.
+  const char* prior = ::getenv("IBRAR_SERVE_CACHE_MB");
+  const std::string saved = prior != nullptr ? prior : "";
+  ASSERT_EQ(::unsetenv("IBRAR_SERVE_CACHE_MB"), 0);
+  // Deployment default: cache ON at 32 MiB, per-client limits off.
+  EXPECT_EQ(serve::ServeConfig::from_env().cache_bytes,
+            std::size_t{32} << 20);
+  EXPECT_EQ(serve::ServeConfig::from_env().client_rate, 0.0);
+  EXPECT_EQ(serve::ServeConfig::from_env().max_inflight_per_client, 0);
+  ASSERT_EQ(::setenv("IBRAR_SERVE_CACHE_MB", "0", 1), 0);
+  ASSERT_EQ(::setenv("IBRAR_SERVE_CLIENT_RATE", "2.5", 1), 0);
+  ASSERT_EQ(::setenv("IBRAR_SERVE_MAX_INFLIGHT", "7", 1), 0);
+  const auto cfg = serve::ServeConfig::from_env();
+  EXPECT_EQ(cfg.cache_bytes, 0u);  // 0 MiB disables the cache entirely
+  EXPECT_DOUBLE_EQ(cfg.client_rate, 2.5);
+  EXPECT_EQ(cfg.max_inflight_per_client, 7);
+  if (prior != nullptr) {
+    ASSERT_EQ(::setenv("IBRAR_SERVE_CACHE_MB", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(::unsetenv("IBRAR_SERVE_CACHE_MB"), 0);
+  }
+  ASSERT_EQ(::unsetenv("IBRAR_SERVE_CLIENT_RATE"), 0);
+  ASSERT_EQ(::unsetenv("IBRAR_SERVE_MAX_INFLIGHT"), 0);
 }
 
 TEST(Server, QueueWaitAndComputeSpansTileExactlyWithReplyFields) {

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -70,10 +73,12 @@ bool reads_eof(int fd) {
 TEST(Wire, SubmitFrameRoundTripsBitExactly) {
   net::SubmitFrame f;
   f.id = 0xdeadbeefcafe1234ull;
+  f.client_id = 0x0123456789abcdefull;
   f.input = sample_input(7);
   const auto bytes = net::encode_submit(f);
   const auto back = net::decode_submit(bytes.data(), bytes.size());
   EXPECT_EQ(back.id, f.id);
+  EXPECT_EQ(back.client_id, f.client_id);
   ASSERT_TRUE(back.input.same_shape(f.input));
   EXPECT_EQ(std::memcmp(back.input.data().data(), f.input.data().data(),
                         sizeof(float) *
@@ -94,6 +99,8 @@ TEST(Wire, ReplyFrameRoundTripsEveryField) {
   f.sampled = true;
   f.suspicion = 0.375f;
   f.score_epoch = 2;
+  f.cached = true;
+  f.retry_after_ms = 1234;
   f.logits = {0.5f, -1.25f, 3.0f, 0.0f, -0.0f};
   const auto bytes = net::encode_reply(f);
   const auto back = net::decode_reply(bytes.data(), bytes.size());
@@ -107,6 +114,8 @@ TEST(Wire, ReplyFrameRoundTripsEveryField) {
   EXPECT_EQ(back.trigger, f.trigger);
   EXPECT_EQ(back.sampled, f.sampled);
   EXPECT_EQ(back.score_epoch, f.score_epoch);
+  EXPECT_EQ(back.cached, f.cached);
+  EXPECT_EQ(back.retry_after_ms, f.retry_after_ms);
   ASSERT_EQ(back.logits.size(), f.logits.size());
   EXPECT_EQ(std::memcmp(back.logits.data(), f.logits.data(),
                         sizeof(float) * f.logits.size()),
@@ -122,6 +131,8 @@ TEST(Wire, StatusMappingMirrorsReplyStatus) {
             net::WireStatus::kRejectedShutdown);
   EXPECT_EQ(net::to_wire(serve::ReplyStatus::kRejectedStaleShape),
             net::WireStatus::kRejectedStaleShape);
+  EXPECT_EQ(net::to_wire(serve::ReplyStatus::kBusyRetryAfter),
+            net::WireStatus::kBusyRetryAfter);
 }
 
 TEST(Wire, TruncatedPayloadsThrowAtEveryPrefixLength) {
@@ -289,6 +300,120 @@ TEST(TcpFrontend, MalformedPayloadDropsTheConnection) {
   ::close(fd);
   net::Client client("127.0.0.1", fe.tcp->port());
   EXPECT_TRUE(client.submit(sample_input(9)).ok());
+}
+
+// ---- fault injection: cache + admission through the socket ------------------
+
+TEST(TcpFrontend, LeaderDisconnectMidFlightJoinerStillGetsTheReply) {
+  // The leader's CONNECTION dies while its request is parked in batch
+  // assembly; the joiner on a separate connection must still be served the
+  // fan-out (the listener never cancels in-flight server work on reader EOF).
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.deadline_us = 300000;  // park the leader's batch for up to 300 ms
+  cfg.workers = 1;
+  cfg.cache_bytes = std::size_t{16} << 20;
+  Frontend fe(cfg);
+  const Tensor x = sample_input(21);
+  auto leader =
+      std::make_unique<net::Client>("127.0.0.1", fe.tcp->port(), 1);
+  leader->send(x);
+  // Give the leader's frame time to land in the cache as the in-flight entry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  net::Client joiner("127.0.0.1", fe.tcp->port(), 2);
+  const std::uint64_t jid = joiner.send(x);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  leader.reset();  // hang up mid-flight, before the batch deadline fires
+  const auto reply = joiner.recv();
+  EXPECT_EQ(reply.id, jid);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.cached);  // served by the leader's fan-out
+  // Bit identity: an in-process resubmit hits the now-complete entry.
+  const serve::Reply direct = fe.server->submit(x).get();
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(static_cast<std::int64_t>(reply.logits.size()),
+            direct.logits.numel());
+  EXPECT_EQ(std::memcmp(reply.logits.data(), direct.logits.data().data(),
+                        sizeof(float) * reply.logits.size()),
+            0);
+  EXPECT_GE(fe.server->stats().cache_inflight_joins, 1u);
+}
+
+TEST(TcpFrontend, DuplicateClientIdSharesOneBucketAcrossConnections) {
+  // Fairness is keyed by the client id IN THE FRAME, not by the connection:
+  // a client reconnecting (or opening parallel sockets) cannot mint fresh
+  // tokens by presenting the same id twice.
+  serve::ServeConfig cfg;
+  cfg.client_rate = 0.001;  // effectively no refill inside the test
+  cfg.client_burst = 2;
+  Frontend fe(cfg);
+  net::Client a1("127.0.0.1", fe.tcp->port(), 7);
+  EXPECT_TRUE(a1.submit(sample_input(31)).ok());
+  EXPECT_TRUE(a1.submit(sample_input(32)).ok());
+  net::Client a2("127.0.0.1", fe.tcp->port(), 7);  // same id, new socket
+  const auto busy = a2.submit(sample_input(33));
+  EXPECT_EQ(busy.status, net::WireStatus::kBusyRetryAfter);
+  EXPECT_GE(busy.retry_after_ms, 1u);
+  EXPECT_LE(busy.retry_after_ms, 5000u);
+  net::Client b("127.0.0.1", fe.tcp->port(), 8);  // different id: fresh bucket
+  EXPECT_TRUE(b.submit(sample_input(34)).ok());
+}
+
+TEST(TcpFrontend, BusyRetryAfterRoundTripsWithItsHint) {
+  serve::ServeConfig cfg;
+  cfg.client_rate = 0.001;
+  cfg.client_burst = 1;
+  Frontend fe(cfg);
+  net::Client client("127.0.0.1", fe.tcp->port(), 9);
+  EXPECT_TRUE(client.submit(sample_input(41)).ok());
+  const auto busy = client.submit(sample_input(42));
+  EXPECT_EQ(busy.status, net::WireStatus::kBusyRetryAfter);
+  EXPECT_FALSE(busy.cached);
+  EXPECT_TRUE(busy.logits.empty());
+  EXPECT_GE(busy.retry_after_ms, 1u);
+  EXPECT_LE(busy.retry_after_ms, 5000u);
+  // honor_retry_after: the client retries (bounded sleeps) and, with no
+  // refill coming, surfaces the final busy instead of hanging.
+  net::Client retrier("127.0.0.1", fe.tcp->port(), 10);
+  retrier.honor_retry_after(/*max_attempts=*/3, /*max_sleep_ms=*/2);
+  EXPECT_TRUE(retrier.submit(sample_input(43)).ok());
+  const auto exhausted = retrier.submit(sample_input(44));
+  EXPECT_EQ(exhausted.status, net::WireStatus::kBusyRetryAfter);
+  EXPECT_EQ(fe.server->stats().admission_throttled, 4u);  // 1 + 3 attempts
+}
+
+TEST(TcpFrontend, OversizedDimsInSubmitFrameDropTheConnection) {
+  // An honest length prefix around a submit frame claiming a 2^20-wide image:
+  // the decoder's dimension guard must tear the connection down before any
+  // allocation happens.
+  Frontend fe;
+  const int fd = raw_connect(fe.tcp->port());
+  std::vector<std::uint8_t> payload;
+  auto put32 = [&payload](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put64 = [&payload](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  payload.push_back(net::kFrameSubmit);
+  put64(1);                 // request id
+  put64(7);                 // client id
+  put32(3);                 // C
+  put32(1u << 20);          // H: beyond the 2^16 plausibility cap
+  put32(4);                 // W
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  ASSERT_EQ(::send(fd, &len, sizeof len, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof len));
+  ASSERT_EQ(::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(payload.size()));
+  EXPECT_TRUE(reads_eof(fd));
+  ::close(fd);
+  net::Client client("127.0.0.1", fe.tcp->port());
+  EXPECT_TRUE(client.submit(sample_input(12)).ok());
 }
 
 TEST(TcpFrontend, TruncatedFrameThenHangupIsHandled) {

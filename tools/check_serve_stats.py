@@ -10,7 +10,14 @@ full metrics-registry snapshot ({"counters":{...},"gauges":{...},
   * core serving counters grow monotonically across lines;
   * the final (post-drain) snapshot has serve.accepted == serve.served > 0,
     at least one batch, and a serve.compute_ns histogram whose percentiles
-    are ordered p50 <= p90 <= p99 <= max.
+    are ordered p50 <= p90 <= p99 <= max;
+  * when the reply cache is live (serve.cache.budget_bytes > 0): cache
+    counters are monotone, serve.cache.hits + serve.cache.misses ==
+    serve.cache.lookups exactly, every snapshot keeps serve.cache.bytes <=
+    serve.cache.budget_bytes, and the final (post-shutdown) snapshot has
+    serve.cache.bytes == 0;
+  * admission counters (serve.admission.busy / .throttled), when present,
+    are monotone.
 
 TRACE_JSON (optional) is the --trace chrome://tracing dump. Checks it is
 valid JSON with a non-empty traceEvents list covering all six serving-stage
@@ -24,6 +31,15 @@ import json
 import sys
 
 CORE_COUNTERS = ["serve.accepted", "serve.served", "serve.batches"]
+CACHE_COUNTERS = [
+    "serve.cache.lookups",
+    "serve.cache.hits",
+    "serve.cache.misses",
+    "serve.cache.inflight_joins",
+    "serve.cache.evictions",
+    "serve.cache.invalidations",
+]
+ADMISSION_COUNTERS = ["serve.admission.busy", "serve.admission.throttled"]
 STAGES = [
     "admission",
     "queue_wait",
@@ -75,6 +91,35 @@ def check_stats(path):
     if final["serve.batches"] <= 0:
         fail("no batches recorded")
 
+    for name in CACHE_COUNTERS + ADMISSION_COUNTERS:
+        values = [s["counters"].get(name, 0) for s in snaps]
+        if any(b < a for a, b in zip(values, values[1:])):
+            fail(f"counter {name} is not monotone across snapshots: {values}")
+
+    budget = snaps[-1]["gauges"].get("serve.cache.budget_bytes", 0)
+    if budget > 0:
+        lookups = final.get("serve.cache.lookups", 0)
+        hits = final.get("serve.cache.hits", 0)
+        misses = final.get("serve.cache.misses", 0)
+        if hits + misses != lookups:
+            fail(
+                f"cache accounting broken: hits {hits} + misses {misses} "
+                f"!= lookups {lookups}"
+            )
+        for i, s in enumerate(snaps, 1):
+            resident = s["gauges"].get("serve.cache.bytes", 0)
+            if resident > budget:
+                fail(
+                    f"snapshot {i}: serve.cache.bytes {resident} exceeds "
+                    f"budget {budget}"
+                )
+        final_bytes = snaps[-1]["gauges"].get("serve.cache.bytes", 0)
+        if final_bytes != 0:
+            fail(
+                f"post-shutdown snapshot still holds serve.cache.bytes "
+                f"{final_bytes} (want 0)"
+            )
+
     hists = snaps[-1]["histograms"]
     if "serve.compute_ns" not in hists:
         fail("final snapshot missing serve.compute_ns histogram")
@@ -83,10 +128,17 @@ def check_stats(path):
         fail("serve.compute_ns histogram is empty")
     if not (h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
         fail(f"serve.compute_ns percentiles out of order: {h}")
+    cache_note = ""
+    if final.get("serve.cache.lookups", 0) > 0:
+        cache_note = (
+            f", cache {final['serve.cache.hits']}"
+            f"/{final['serve.cache.lookups']} hits"
+        )
     print(
         f"check_serve_stats: {len(snaps)} snapshots OK — "
         f"served {final['serve.served']} in {final['serve.batches']} batches, "
         f"compute p50 {h['p50'] / 1e6:.3f} ms / p99 {h['p99'] / 1e6:.3f} ms"
+        f"{cache_note}"
     )
 
 

@@ -28,13 +28,23 @@
 //                   drives the demo traffic THROUGH the socket — one
 //                   net::Client connection per client thread — instead of
 //                   in-process futures, so the run exercises framing,
-//                   pipelining, and the listener end to end.
+//                   pipelining, and the listener end to end;
+//   * --cache-mb N  reply-cache byte budget in MiB (overrides
+//                   IBRAR_SERVE_CACHE_MB; 0 disables). Each client thread
+//                   submits under its own client id, and the summary reports
+//                   hit/miss/join/eviction counts and the resident bytes;
+//   * --client-rate R / --max-inflight-per-client N per-client admission
+//                   control (overrides IBRAR_SERVE_CLIENT_RATE /
+//                   IBRAR_SERVE_MAX_INFLIGHT); throttled requests come back
+//                   kBusyRetryAfter with a retry hint and are counted in the
+//                   summary as rejected.
 //
 // Server shape comes from the standard env knobs: IBRAR_SERVE_MAX_BATCH,
-// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP, IBRAR_SERVE_WORKERS;
-// IBRAR_OBS_PROFILE=1 prints the per-kernel profile table at exit. Results
-// are printed and recorded to an ibrar-bench-v1 JSON (--out, default
-// SERVE.json).
+// IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP, IBRAR_SERVE_WORKERS,
+// IBRAR_SERVE_CACHE_MB, IBRAR_SERVE_CLIENT_RATE, IBRAR_SERVE_CLIENT_BURST,
+// IBRAR_SERVE_MAX_INFLIGHT; IBRAR_OBS_PROFILE=1 prints the per-kernel
+// profile table at exit. Results are printed and recorded to an
+// ibrar-bench-v1 JSON (--out, default SERVE.json).
 //
 //   ./ibrar_serve --model vgg16 --requests 2000 --clients 8 --adv 0.5
 //                 --swap --stats-every 250 --trace serve_trace.json
@@ -92,6 +102,9 @@ int main(int argc, char** argv) {
   double adv_fraction = 0.0;
   bool swap_mid_run = false;
   std::int64_t listen_port = -1;  // -1 = in-process futures (no socket)
+  std::int64_t cache_mb = -1;     // -1 = keep the IBRAR_SERVE_CACHE_MB default
+  double client_rate = -1.0;      // -1 = keep IBRAR_SERVE_CLIENT_RATE
+  std::int64_t max_inflight = -1; // -1 = keep IBRAR_SERVE_MAX_INFLIGHT
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -113,14 +126,23 @@ int main(int argc, char** argv) {
     else if (arg == "--stats-out") stats_out = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--listen") listen_port = std::stoll(next());
+    else if (arg == "--cache-mb") cache_mb = std::stoll(next());
+    else if (arg == "--client-rate") client_rate = std::stod(next());
+    else if (arg == "--max-inflight-per-client") max_inflight = std::stoll(next());
     else {
       std::fprintf(stderr,
                    "usage: ibrar_serve [--dataset D] [--model M] [--requests N]"
                    " [--clients C] [--telemetry K] [--adv FRACTION] [--swap]"
                    " [--out FILE] [--stats-every MS] [--stats-out FILE]"
-                   " [--trace FILE] [--listen PORT]\n");
+                   " [--trace FILE] [--listen PORT] [--cache-mb N]"
+                   " [--client-rate R] [--max-inflight-per-client N]\n");
       return arg == "--help" ? 0 : 2;
     }
+  }
+  if (cache_mb >= 0 && cache_mb > (std::int64_t{1} << 20)) {
+    std::fprintf(stderr, "--cache-mb %lld is implausibly large\n",
+                 static_cast<long long>(cache_mb));
+    return 2;
   }
   if (listen_port < -1 || listen_port > 65535) {
     std::fprintf(stderr, "--listen PORT must be in [0, 65535]\n");
@@ -186,17 +208,24 @@ int main(int argc, char** argv) {
   serve::ServeConfig cfg = serve::ServeConfig::from_env();
   cfg.telemetry.sample_every = telemetry_every;
   cfg.telemetry.window = 32;
+  if (cache_mb >= 0) {
+    cfg.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  }
+  if (client_rate >= 0.0) cfg.client_rate = client_rate;
+  if (max_inflight >= 0) cfg.max_inflight_per_client = max_inflight;
   serve::Server server(registry, cfg);
   std::printf("serving %s v1: max_batch=%lld deadline=%lldus queue=%lld "
               "workers=%lld clients=%lld requests=%lld telemetry=every "
-              "%lldth\n",
+              "%lldth cache=%zuMiB rate=%.1f/s max_inflight=%lld\n",
               model_name.c_str(), static_cast<long long>(cfg.max_batch),
               static_cast<long long>(cfg.deadline_us),
               static_cast<long long>(cfg.queue_capacity),
               static_cast<long long>(cfg.workers),
               static_cast<long long>(clients),
               static_cast<long long>(requests),
-              static_cast<long long>(telemetry_every));
+              static_cast<long long>(telemetry_every),
+              cfg.cache_bytes >> 20, cfg.client_rate,
+              static_cast<long long>(cfg.max_inflight_per_client));
   std::unique_ptr<serve::net::TcpFrontend> frontend;
   if (listen_port >= 0) {
     serve::net::FrontendConfig fcfg;
@@ -248,10 +277,13 @@ int main(int argc, char** argv) {
     threads.emplace_back([&, c] {
       // With --listen each client thread owns one socket connection, so the
       // run exercises the real wire path per client instead of futures.
+      // Client thread c is client id c+1 everywhere (admission fairness is
+      // keyed on it; id 0 is the anonymous default and shares one bucket).
+      const auto my_id = static_cast<std::uint64_t>(c + 1);
       std::unique_ptr<serve::net::Client> net_client;
       if (frontend) {
-        net_client = std::make_unique<serve::net::Client>("127.0.0.1",
-                                                          frontend->port());
+        net_client = std::make_unique<serve::net::Client>(
+            "127.0.0.1", frontend->port(), my_id);
       }
       for (std::int64_t r = c; r < requests; r += clients) {
         // Hot swap: the first client to cross the midpoint republishes the
@@ -281,7 +313,7 @@ int main(int argc, char** argv) {
           suspicion = reply.suspicion;
         } else {
           const auto reply =
-              server.submit(rows[static_cast<std::size_t>(row)]).get();
+              server.submit(rows[static_cast<std::size_t>(row)], my_id).get();
           ok = reply.ok();
           argmax = reply.argmax;
           version = reply.model_version;
@@ -350,6 +382,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.deadline_triggers),
               static_cast<unsigned long long>(stats.drain_triggers),
               static_cast<unsigned long long>(stats.max_batch_observed));
+  if (server.cache().enabled()) {
+    std::printf("   cache: %llu lookups, %llu hits (%llu in-flight joins), "
+                "%llu misses, %llu evictions, %llu invalidations, %zu bytes "
+                "resident\n",
+                static_cast<unsigned long long>(stats.cache_lookups),
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_inflight_joins),
+                static_cast<unsigned long long>(stats.cache_misses),
+                static_cast<unsigned long long>(stats.cache_evictions),
+                static_cast<unsigned long long>(stats.cache_invalidations),
+                server.cache().bytes());
+  }
+  if (stats.admission_busy + stats.admission_throttled > 0) {
+    std::printf("   admission: %llu busy-on-full, %llu per-client throttles "
+                "(all kBusyRetryAfter with hints)\n",
+                static_cast<unsigned long long>(stats.admission_busy),
+                static_cast<unsigned long long>(stats.admission_throttled));
+  }
   for (std::size_t v = 1; v < version_counts.size(); ++v) {
     if (version_counts[v] > 0) {
       std::printf("   model v%zu served %llu requests\n", v,
@@ -389,6 +439,12 @@ int main(int argc, char** argv) {
          served.load() > 0 ? static_cast<double>(correct.load()) /
                                  static_cast<double>(served.load())
                            : 0.0);
+  if (stats.cache_lookups > 0) {
+    record("serve_cli/cache_hit_rate",
+           "lookups=" + std::to_string(stats.cache_lookups),
+           static_cast<double>(stats.cache_hits) /
+               static_cast<double>(stats.cache_lookups));
+  }
   if (clean_susp.n > 0) {
     record("serve_cli/suspicion_clean", "n=" + std::to_string(clean_susp.n),
            clean_susp.mean());
