@@ -1,6 +1,6 @@
 // Observability overhead bench: the instruments must not perturb the patient.
 //
-// Rows recorded (BENCH_pr6.json / IBRAR_BENCH_OUT):
+// Rows recorded (BENCH_pr10.json / IBRAR_BENCH_OUT):
 //   obs/counter_inc        ns per Counter::inc on the sharded hot path
 //   obs/histogram_observe  ns per Histogram::observe (bucket + count + sum)
 //   obs/span_record        ns per active Span (2 clock reads + ring append)
@@ -9,15 +9,31 @@
 //   obs/gemm_profile_ab    gemm_packed wall time with profiling OFF vs ON,
 //                          speedup_vs_naive = off/on ratio, bit_identical =
 //                          memcmp of the two output buffers
+//   obs/ts_sample_now      ns per time-series sampler tick over a populated
+//                          registry; extra.overhead_frac = tick cost as a
+//                          fraction of the default 250 ms cadence (gated)
+//   obs/drift_latency      scoring windows between a scripted clean -> PGD
+//                          traffic shift and the drift flag flipping, for
+//                          tumbling and EWMA re-score modes (gated <= 3)
+//   obs/serve_telemetry_ab served logits with the full continuous-telemetry
+//                          stack on (EWMA re-score + background sampler +
+//                          live admin endpoint) vs everything off,
+//                          bit_identical = memcmp across all replies
 //
 // Gates (nonzero exit so CI can enforce them):
 //   * gemm outputs with profiling on vs off are bit-identical — observation
 //     never changes computation.
+//   * served logits with the PR-10 stack on vs off are bit-identical (every
+//     build flavour).
+//   * drift flips within 3 windows of the scripted shift (every flavour).
 //   * (optimized, non-sanitized builds only) a disabled ProfileScope costs
 //     < 100 ns. Measured
 //     cost is typically ~1-3 ns; the slack absorbs noisy shared CI runners.
 //     A gemm call is >= hundreds of microseconds, so even the gate bound is
 //     <0.1% per call — "no measurable overhead" in bench_gemm terms.
+//   * (optimized, non-sanitized builds only) one sampler tick costs < 1% of
+//     the default 250 ms interval — the continuous-telemetry tier rides on
+//     <1% of one core, leaving the serving threads alone.
 //   * Sharded counters are exact: 4 threads x 200k increments must sum to
 //     exactly 800000 (runs in every build flavour, including sanitizers).
 //
@@ -30,14 +46,22 @@
 #include <thread>
 #include <vector>
 
+#include "models/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "reporter.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/net/admin.hpp"
+#include "serve/server.hpp"
+#include "serve/telemetry.hpp"
 #include "tensor/gemm_packed.hpp"
 #include "tensor/random.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -91,6 +115,68 @@ bool counter_exactness() {
   return true;
 }
 
+// Synthetic last-conv tap rows for the drift-latency row (mirrors the
+// telemetry A/B in tests/test_timeseries.cpp): channels 0..7 carry the
+// label, 8..15 are near-silent on clean traffic and saturated on shifted.
+constexpr std::int64_t kDriftChans = 16;
+constexpr std::int64_t kDriftSpatial = 4;
+
+std::vector<float> drift_row(int i, bool adv) {
+  std::vector<float> row(
+      static_cast<std::size_t>(kDriftChans * kDriftSpatial));
+  const int y = i % 2;
+  for (std::int64_t c = 0; c < kDriftChans; ++c) {
+    float v;
+    if (adv) {
+      v = c < 8 ? 0.1f : 1.0f + 0.001f * static_cast<float>(i % 3);
+    } else if (c < 8) {
+      v = (c % 2 == y) ? 1.0f : 0.1f;
+    } else {
+      v = 0.05f + 0.001f * static_cast<float>((i + c) % 3);
+    }
+    for (std::int64_t s = 0; s < kDriftSpatial; ++s) {
+      row[static_cast<std::size_t>(c * kDriftSpatial + s)] = v;
+    }
+  }
+  return row;
+}
+
+/// Windows of shifted traffic until the drift flag flips (-1 = never, within
+/// the budget).
+int drift_windows_to_flip(bool ewma) {
+  serve::TelemetryConfig cfg;
+  cfg.sample_every = 1;
+  cfg.window = 8;
+  cfg.suspicious_fraction = 0.25f;
+  cfg.ewma = ewma;
+  serve::RobustnessMonitor mon(cfg);
+  int idx = 0;
+  for (int win = 0; win < 8; ++win) {  // clean warmup: arm the control bands
+    for (std::int64_t s = 0; s < cfg.window; ++s, ++idx) {
+      const auto row = drift_row(idx, false);
+      mon.observe(row.data(), kDriftChans, kDriftSpatial, idx % 2, 2);
+    }
+  }
+  for (int win = 0; win < 6; ++win) {  // shift
+    for (std::int64_t s = 0; s < cfg.window; ++s, ++idx) {
+      const auto row = drift_row(idx, true);
+      mon.observe(row.data(), kDriftChans, kDriftSpatial, idx % 2, 2);
+    }
+    if (mon.drift_state() == serve::DriftDetector::kDrift) return win + 1;
+  }
+  return -1;
+}
+
+models::TapClassifierPtr bench_tiny_model(std::uint64_t seed) {
+  models::ModelSpec spec;
+  spec.name = "mlp";
+  spec.num_classes = 5;
+  spec.image_size = 4;
+  spec.in_channels = 3;
+  Rng rng(seed);
+  return models::make_model(spec, rng);
+}
+
 }  // namespace
 }  // namespace ibrar::bench
 
@@ -110,7 +196,7 @@ int main(int argc, char** argv) {
 
   JsonReporter rep(env::get_string("IBRAR_BENCH_OUT",
                                    smoke ? "BENCH_smoke_obs.json"
-                                         : "BENCH_pr6.json"));
+                                         : "BENCH_pr10.json"));
   Table table({"row", "shape", "ns_per_op"});
   bool ok = true;
 
@@ -240,6 +326,169 @@ int main(int argc, char** argv) {
     std::printf("gemm %s  profiling off %.3f ms  on %.3f ms  (off/on %.3fx)  "
                 "bit_identical=%s\n",
                 shape, t_off, t_on, rec.speedup_vs_naive, bits ? "yes" : "NO");
+  }
+
+  // -- time-series sampler tick: cost + implied-overhead gate ---------------
+  {
+    // Populate a realistic registry shape: a few dozen counters/gauges plus
+    // latency histograms, like a serving process after warmup.
+    obs::MetricsRegistry reg;
+    for (int i = 0; i < 48; ++i) {
+      reg.counter("bench.ts.c" + std::to_string(i)).inc(7);
+      reg.gauge("bench.ts.g" + std::to_string(i)).set(static_cast<double>(i));
+    }
+    for (int i = 0; i < 8; ++i) {
+      auto& h = reg.histogram("bench.ts.h" + std::to_string(i));
+      for (int j = 1; j <= 512; ++j) h.observe(static_cast<double>(j));
+    }
+    obs::TimeSeriesConfig ts_cfg;
+    ts_cfg.capacity = 512;
+    obs::TimeSeriesStore store(ts_cfg);
+    const std::int64_t tick_iters = smoke ? 50 : 500;
+    const double tick_ns = time_ns_per_op(
+        [&](std::int64_t n) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            store.sample_now(reg, i);  // explicit tick: deterministic
+          }
+        },
+        tick_iters, smoke ? 2 : 5);
+    // Overhead fraction at the default 250 ms cadence ibrar_serve uses when
+    // an admin port is up: one tick's cost amortized over one interval.
+    const double overhead_frac = tick_ns / (250.0 * 1e6);
+
+    BenchRecord rec;
+    rec.kernel = "obs/ts_sample_now";
+    rec.shape = std::to_string(store.series_count()) + " series";
+    rec.ns_per_op = tick_ns;
+    rec.extra = {{"overhead_frac", overhead_frac},
+                 {"interval_ms", 250.0}};
+    rep.add(rec);
+    table.add_row({"obs/ts_sample_now", rec.shape, Table::num(tick_ns, 2)});
+    std::printf(
+        "ts sampler tick: %.0f ns over %zu series -> %.5f%% of a 250 ms "
+        "interval\n",
+        tick_ns, store.series_count(), overhead_frac * 100.0);
+#if defined(__OPTIMIZE__) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_UNDEFINED__)
+    if (overhead_frac >= 0.01) {
+      std::fprintf(stderr,
+                   "[bench_obs] FAIL: sampler tick %.0f ns is %.2f%% of the "
+                   "250 ms cadence (gate: < 1%%)\n",
+                   tick_ns, overhead_frac * 100.0);
+      ok = false;
+    }
+#else
+    std::fprintf(stderr,
+                 "[bench_obs] note: unoptimized/sanitizer build — sampler "
+                 "overhead gate informational only (%.4f%%)\n",
+                 overhead_frac * 100.0);
+#endif
+  }
+
+  // -- drift latency: scripted clean -> PGD shift, windows until the flag ---
+  {
+    for (const bool ewma : {false, true}) {
+      const int windows = drift_windows_to_flip(ewma);
+      BenchRecord rec;
+      rec.kernel = ewma ? "obs/drift_latency_ewma" : "obs/drift_latency";
+      rec.shape = "w8 c16 shift";
+      rec.ns_per_op = static_cast<double>(windows);  // windows, not ns
+      rec.extra = {{"windows_to_flip", static_cast<double>(windows)}};
+      rep.add(rec);
+      table.add_row({rec.kernel, rec.shape,
+                     windows < 0 ? "never" : Table::num(windows, 0)});
+      std::printf("drift latency (%s re-score): flipped after %d window(s)\n",
+                  ewma ? "EWMA" : "tumbling", windows);
+      if (windows < 1 || windows > 3) {
+        std::fprintf(stderr,
+                     "[bench_obs] FAIL: drift flag took %d windows after the "
+                     "shift (gate: 1..3, mode=%s)\n",
+                     windows, ewma ? "ewma" : "tumbling");
+        ok = false;
+      }
+    }
+  }
+
+  // -- serve A/B: full continuous-telemetry stack on vs off, bit identity ---
+  {
+    serve::ModelRegistry mreg;
+    mreg.publish(bench_tiny_model(11), {3, 4, 4});
+    serve::ServeConfig scfg;
+    scfg.max_batch = 1;  // singleton batches -> deterministic batching
+    scfg.deadline_us = 0;
+    scfg.queue_capacity = 64;
+    scfg.workers = 4;
+    const int n_reqs = smoke ? 8 : 32;
+    auto input = [](int i) {
+      Rng rng(static_cast<std::uint64_t>(900 + i));
+      return rand_uniform({3, 4, 4}, rng, 0.0f, 1.0f);
+    };
+
+    std::vector<Tensor> off_logits, on_logits;
+    double t_off_ms = 0.0, t_on_ms = 0.0;
+    {
+      obs::set_trace_sample_every(0);
+      obs::set_profiling_enabled(false);
+      serve::Server server(mreg, scfg);
+      Stopwatch sw;
+      for (int i = 0; i < n_reqs; ++i) {
+        off_logits.push_back(server.submit(input(i)).get().logits);
+      }
+      t_off_ms = sw.seconds() * 1e3;
+    }
+    {
+      obs::set_trace_sample_every(1);
+      obs::set_profiling_enabled(true);
+      obs::register_default_serve_slos();
+      obs::start_sampler(10);
+      serve::net::AdminEndpoint admin;
+      serve::ServeConfig scfg_on = scfg;
+      scfg_on.telemetry.sample_every = 1;
+      scfg_on.telemetry.ewma = true;
+      serve::Server server(mreg, scfg_on);
+      Stopwatch sw;
+      for (int i = 0; i < n_reqs; ++i) {
+        on_logits.push_back(server.submit(input(i)).get().logits);
+      }
+      t_on_ms = sw.seconds() * 1e3;
+      admin.stop();
+      obs::stop_sampler();
+      obs::set_trace_sample_every(0);
+      obs::set_profiling_enabled(false);
+      obs::clear_trace();
+      obs::reset_profile();
+    }
+
+    bool bits = true;
+    for (int i = 0; i < n_reqs; ++i) {
+      const Tensor& a = off_logits[static_cast<std::size_t>(i)];
+      const Tensor& b = on_logits[static_cast<std::size_t>(i)];
+      if (!a.same_shape(b) ||
+          std::memcmp(a.data().data(), b.data().data(),
+                      sizeof(float) * static_cast<std::size_t>(a.numel())) !=
+              0) {
+        bits = false;
+        break;
+      }
+    }
+    if (!bits) {
+      std::fprintf(stderr,
+                   "[bench_obs] FAIL: served logits differ with the "
+                   "continuous-telemetry stack on — observation changed "
+                   "computation\n");
+      ok = false;
+    }
+    BenchRecord rec;
+    rec.kernel = "obs/serve_telemetry_ab";
+    rec.shape = std::to_string(n_reqs) + " reqs w4";
+    rec.ns_per_op = t_on_ms * 1e6 / static_cast<double>(n_reqs);
+    rec.bit_identical = bits;
+    rec.extra = {{"off_ms", t_off_ms}, {"on_ms", t_on_ms}};
+    rep.add(rec);
+    std::printf(
+        "serve stack A/B: %d reqs  off %.2f ms  on %.2f ms  "
+        "bit_identical=%s\n",
+        n_reqs, t_off_ms, t_on_ms, bits ? "yes" : "NO");
   }
 
   table.print();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
+#include <utility>
 
 namespace ibrar::obs {
 
@@ -80,33 +82,73 @@ HistogramSnapshot Histogram::snapshot() const {
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) slot = std::make_shared<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) slot = std::make_shared<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
+  if (!slot) slot = std::make_shared<Histogram>();
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  MetricsSnapshot out;
-  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) {
-    out.histograms[name] = h->snapshot();
+  // Copy the pointer table under the lock, read the shards outside it: the
+  // lock hold is proportional to the number of names, not the merge work,
+  // so a background sampler cannot stall a thread resolving a new handle
+  // for long (recording on resolved handles never takes this lock at all).
+  std::vector<std::pair<std::string, std::shared_ptr<Counter>>> cs;
+  std::vector<std::pair<std::string, std::shared_ptr<Gauge>>> gs;
+  std::vector<std::pair<std::string, std::shared_ptr<Histogram>>> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cs.assign(counters_.begin(), counters_.end());
+    gs.assign(gauges_.begin(), gauges_.end());
+    hs.assign(histograms_.begin(), histograms_.end());
   }
+  MetricsSnapshot out;
+  for (const auto& [name, c] : cs) out.counters[name] = c->value();
+  for (const auto& [name, g] : gs) out.gauges[name] = g->value();
+  for (const auto& [name, h] : hs) out.histograms[name] = h->snapshot();
   return out;
+}
+
+std::size_t MetricsRegistry::retire_counters(const std::string& prefix,
+                                             const std::string& fold_prefix) {
+  if (prefix.empty()) return 0;
+  if (fold_prefix.compare(0, prefix.size(), prefix) == 0) {
+    // The fold targets would land back inside the retire range and be
+    // re-folded forever.
+    throw std::invalid_argument(
+        "MetricsRegistry::retire_counters: fold_prefix must not start with "
+        "prefix");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t retired = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const std::string folded = fold_prefix + it->first.substr(prefix.size());
+    auto& slot = counters_[folded];  // map inserts never invalidate `it`
+    if (!slot) slot = std::make_shared<Counter>();
+    slot->inc(it->second->value());
+    retired_.push_back(std::move(it->second));
+    it = counters_.erase(it);
+    ++retired;
+  }
+  return retired;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::reset() {
@@ -114,6 +156,7 @@ void MetricsRegistry::reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  retired_.clear();
 }
 
 namespace {
@@ -153,6 +196,66 @@ std::string MetricsSnapshot::to_json() const {
     first = false;
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric-name sanitizer: [a-zA-Z0-9_:] pass through, everything
+/// else (the registry's dots, mostly) becomes '_'. A leading digit gets a
+/// '_' prefix to satisfy the exposition grammar.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+/// Prometheus sample values: decimal doubles, +Inf/-Inf/NaN spellings.
+std::string prom_num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + prom_num(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Sparse cumulative buckets: one le edge per non-empty bucket (upper
+    // bound of our log-bucket geometry), closed with the mandatory +Inf.
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kHistBuckets - 1; ++b) {  // overflow rides +Inf below
+      const std::uint64_t c = h.buckets[static_cast<std::size_t>(b)];
+      if (c == 0) continue;
+      cum += c;
+      out += n + "_bucket{le=\"" + prom_num(detail::hist_bucket_upper(b)) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + prom_num(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
   return out;
 }
 

@@ -196,10 +196,26 @@ struct MetricsSnapshot {
   /// shape ibrar_serve --stats-every emits and tools/check_serve_stats.py
   /// parses.
   std::string to_json() const;
+
+  /// Prometheus text exposition (format version 0.0.4): counters as
+  /// `# TYPE <name> counter`, gauges as gauge, histograms as the classic
+  /// `_bucket{le="..."}` cumulative series plus `_sum`/`_count`. Metric names
+  /// are sanitized (every character outside [a-zA-Z0-9_:] becomes '_');
+  /// only non-empty buckets are emitted (sparse `le` series are valid
+  /// exposition — cumulative counts at the emitted edges are still exact),
+  /// always closed with the mandatory `le="+Inf"` bucket. This is what the
+  /// admin endpoint's GET /metrics serves.
+  std::string to_prometheus() const;
 };
 
 /// Name -> metric map. Creation takes a mutex; returned references are
 /// stable until the registry dies, so callers resolve handles once.
+///
+/// snapshot() holds the map mutex only long enough to copy the shared_ptr
+/// table, then reads every metric's shards unlocked — a sampler scraping the
+/// registry on a cadence never blocks a recording path (recording is
+/// lock-free on pre-resolved handles) and stalls name resolution only for
+/// the pointer copy.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
@@ -208,14 +224,33 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Retire-and-fold: every counter whose name starts with `prefix` has its
+  /// current value added to the counter named `fold_prefix` + the remaining
+  /// suffix, then leaves the registry (snapshots and the Prometheus export
+  /// stop listing it). This is the cardinality bound for per-instance
+  /// families like serve.version.<v>.*: hot-swap N times and the registry
+  /// holds the live version's counters plus one retired.* aggregate set,
+  /// not N generations of dead names. Storage for retired counters is
+  /// parked, not freed, so a stale `Counter&` handle held across the retire
+  /// stays valid (its increments after the fold are dropped from the
+  /// aggregate — retire when the family is quiescent). Returns the number of
+  /// counters retired.
+  std::size_t retire_counters(const std::string& prefix,
+                              const std::string& fold_prefix);
+
+  /// Number of live (non-retired) metrics, all kinds.
+  std::size_t size() const;
+
   /// Drop every metric (handles become dangling — test isolation only).
   void reset();
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::shared_ptr<Counter>> counters_;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+  /// Retired counters parked here so stale handles never dangle.
+  std::vector<std::shared_ptr<Counter>> retired_;
 };
 
 /// The process-global registry every subsystem records into.

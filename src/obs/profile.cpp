@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 #include "util/env.hpp"
 
@@ -91,6 +92,36 @@ void print_profile_table(std::FILE* out) {
     std::fprintf(out, "  %-32s %12llu %14.3f %12.3f\n", e.name.c_str(),
                  static_cast<unsigned long long>(e.calls),
                  static_cast<double>(e.total_ns) * 1e-6, e.mean_ns() * 1e-3);
+  }
+}
+
+std::string profile_to_json() {
+  const auto table = profile_table();
+  std::string out = "{\"sites\":[";
+  char buf[96];
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const ProfileEntry& e = table[i];
+    out += i == 0 ? "\n{\"name\":\"" : ",\n{\"name\":\"";
+    out += e.name;  // site names are code literals: no JSON escaping needed
+    std::snprintf(buf, sizeof buf,
+                  "\",\"calls\":%llu,\"total_ns\":%lld,\"mean_ns\":%.3f}",
+                  static_cast<unsigned long long>(e.calls),
+                  static_cast<long long>(e.total_ns), e.mean_ns());
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void dump_profile(const std::string& path) {
+  const std::string json = profile_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("obs::dump_profile: cannot open " + path);
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    throw std::runtime_error("obs::dump_profile: write failed for " + path);
   }
 }
 

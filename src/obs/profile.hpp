@@ -100,4 +100,14 @@ void reset_profile();
 /// nothing was recorded).
 void print_profile_table(std::FILE* out);
 
+/// profile_table() as one JSON object:
+/// {"sites":[{"name":...,"calls":N,"total_ns":N,"mean_ns":X},...]} — the
+/// machine-readable sibling of print_profile_table(), written by
+/// `ibrar_serve --profile-out` and uploaded next to BENCH artifacts in CI.
+std::string profile_to_json();
+
+/// Write profile_to_json() to `path`; throws std::runtime_error on I/O
+/// failure.
+void dump_profile(const std::string& path);
+
 }  // namespace ibrar::obs

@@ -1,0 +1,227 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+
+#include "obs/clock.hpp"
+#include "obs/slo.hpp"
+#include "util/env.hpp"
+
+namespace ibrar::obs {
+
+TimeSeriesConfig TimeSeriesConfig::from_env() {
+  TimeSeriesConfig cfg;
+  const auto cap = env::get_int("IBRAR_OBS_TS_CAP", 512);
+  cfg.capacity = static_cast<std::size_t>(std::max<std::int64_t>(2, cap));
+  return cfg;
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesConfig cfg)
+    : cfg_(cfg), c_dropped_(registry().counter("obs.ts.dropped_samples")) {
+  cfg_.capacity = std::max<std::size_t>(2, cfg_.capacity);
+}
+
+TimeSeriesStore::~TimeSeriesStore() = default;
+
+void TimeSeriesStore::append_locked(const std::string& series,
+                                    std::int64_t t_ns, double value) {
+  Ring& r = rings_[series];
+  if (r.buf.empty()) r.buf.resize(cfg_.capacity);
+  if (r.filled == r.buf.size()) {
+    ++dropped_;  // overwriting the oldest sample below
+    c_dropped_.inc();
+  } else {
+    ++r.filled;
+  }
+  r.buf[r.next] = TsSample{t_ns, value};
+  r.next = (r.next + 1) % r.buf.size();
+}
+
+void TimeSeriesStore::append(const std::string& series, std::int64_t t_ns,
+                             double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  append_locked(series, t_ns, value);
+}
+
+std::size_t TimeSeriesStore::sample_now(MetricsRegistry& reg,
+                                        std::int64_t t_ns) {
+  // The registry snapshot happens before taking the store mutex: the only
+  // lock shared with request paths (the registry name-resolution mutex) is
+  // held by snapshot() just long enough to copy the pointer table.
+  const MetricsSnapshot snap = reg.snapshot();
+  if (t_ns < 0) t_ns = now_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t touched = 0;
+  for (const auto& [name, v] : snap.counters) {
+    append_locked(name, t_ns, static_cast<double>(v));
+    ++touched;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    append_locked(name, t_ns, v);
+    ++touched;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    append_locked(name + ".count", t_ns, static_cast<double>(h.count));
+    append_locked(name + ".p50", t_ns, h.percentile(0.50));
+    append_locked(name + ".p99", t_ns, h.percentile(0.99));
+    append_locked(name + ".mean", t_ns, h.mean());
+    touched += 4;
+  }
+  ++ticks_;
+  return touched;
+}
+
+const TimeSeriesStore::Ring* TimeSeriesStore::find(
+    const std::string& name) const {
+  const auto it = rings_.find(name);
+  return it == rings_.end() ? nullptr : &it->second;
+}
+
+std::vector<TsSample> TimeSeriesStore::series(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Ring* r = find(name);
+  std::vector<TsSample> out;
+  if (r == nullptr || r->filled == 0) return out;
+  out.reserve(r->filled);
+  // Oldest sample sits at `next` once the ring has wrapped, at 0 before.
+  const std::size_t cap = r->buf.size();
+  const std::size_t start = r->filled == cap ? r->next : 0;
+  for (std::size_t i = 0; i < r->filled; ++i) {
+    out.push_back(r->buf[(start + i) % cap]);
+  }
+  return out;
+}
+
+double TimeSeriesStore::rate(const std::string& name,
+                             std::int64_t window_ns) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Ring* r = find(name);
+  if (r == nullptr || r->filled < 2) return 0.0;
+  const std::size_t cap = r->buf.size();
+  const std::size_t start = r->filled == cap ? r->next : 0;
+  const TsSample& last = r->buf[(start + r->filled - 1) % cap];
+  // Base = oldest surviving sample still inside the window; after a ring
+  // wraparound this is simply the oldest retained sample, so the rate stays
+  // exact over the span actually covered.
+  const std::int64_t horizon = last.t_ns - window_ns;
+  const TsSample* base = nullptr;
+  for (std::size_t i = 0; i + 1 < r->filled; ++i) {
+    const TsSample& s = r->buf[(start + i) % cap];
+    if (s.t_ns >= horizon) {
+      base = &s;
+      break;
+    }
+  }
+  if (base == nullptr || last.t_ns <= base->t_ns) return 0.0;
+  return (last.value - base->value) /
+         static_cast<double>(last.t_ns - base->t_ns) * 1e9;
+}
+
+std::vector<TsSample> TimeSeriesStore::percentile_series(
+    const std::string& hist_name, double q) const {
+  return series(hist_name + (q >= 0.99 ? ".p99" : ".p50"));
+}
+
+double TimeSeriesStore::last(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Ring* r = find(name);
+  if (r == nullptr || r->filled == 0) return 0.0;
+  const std::size_t cap = r->buf.size();
+  return r->buf[(r->next + cap - 1) % cap].value;
+}
+
+std::uint64_t TimeSeriesStore::dropped_samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rings_.size();
+}
+
+std::vector<std::string> TimeSeriesStore::series_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(rings_.size());
+  for (const auto& [name, ring] : rings_) out.push_back(name);
+  return out;  // std::map iteration order is already sorted
+}
+
+std::uint64_t TimeSeriesStore::ticks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ticks_;
+}
+
+TimeSeriesStore& timeseries() {
+  static TimeSeriesStore instance(TimeSeriesConfig::from_env());
+  return instance;
+}
+
+namespace {
+
+struct Sampler {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+  bool stop = false;
+};
+
+Sampler& sampler() {
+  static Sampler s;
+  return s;
+}
+
+}  // namespace
+
+void start_sampler(std::int64_t interval_ms) {
+  if (interval_ms <= 0) return;
+  interval_ms = std::max<std::int64_t>(10, interval_ms);
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.running) return;
+  s.running = true;
+  s.stop = false;
+  s.thread = std::thread([interval_ms] {
+    Sampler& sp = sampler();
+    std::unique_lock<std::mutex> lk(sp.mu);
+    while (!sp.stop) {
+      lk.unlock();
+      timeseries().sample_now(registry());
+      slos().evaluate(timeseries());
+      lk.lock();
+      sp.cv.wait_for(lk, std::chrono::milliseconds(interval_ms),
+                     [&sp] { return sp.stop; });
+    }
+  });
+}
+
+void stop_sampler() {
+  Sampler& s = sampler();
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.running) return;
+    s.stop = true;
+    s.cv.notify_all();
+    joinable = std::move(s.thread);
+    s.running = false;
+  }
+  if (joinable.joinable()) joinable.join();
+}
+
+bool sampler_running() {
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.running;
+}
+
+std::int64_t ts_interval_ms() {
+  static const std::int64_t v = env::get_int("IBRAR_OBS_TS_INTERVAL_MS", 0);
+  return v;
+}
+
+}  // namespace ibrar::obs

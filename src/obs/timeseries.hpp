@@ -1,0 +1,139 @@
+#pragma once
+// Continuous telemetry tier 1: time series over the metrics registry.
+//
+// obs::registry() answers "what are the counters NOW"; production monitoring
+// needs "how fast is this counter moving" and "what was p99 five windows
+// ago". TimeSeriesStore closes that gap: a background sampler (or an
+// explicit sample_now() call — what the tests drive) takes one registry
+// snapshot per tick and appends, per metric, into fixed-capacity rings:
+//
+//   counters    -> series "<name>"            (raw cumulative value)
+//   gauges      -> series "<name>"            (last-write value)
+//   histograms  -> series "<name>.count"      (cumulative observation count)
+//                  series "<name>.p50"/".p99" (bucket-read percentiles)
+//                  series "<name>.mean"
+//
+// Rings are O(1) append, oldest-first overwrite; every overwritten sample is
+// counted in the obs.ts.dropped_samples registry counter — history loss is a
+// number on a dashboard, never silent truncation. rate(name, window) reads a
+// delta-rate off the ring (correct across the overwrite boundary: it uses
+// whatever suffix of history survives), percentile_series(name, q) returns
+// the percentile track a latency SLO watches.
+//
+// Locking contract (the PR-6 rule extended): the sampler must never take a
+// lock a request path holds. Recording paths write pre-resolved metric
+// handles lock-free; MetricsRegistry::snapshot() holds the registry mutex
+// only to copy the pointer table (requests take that mutex only to resolve
+// NEW names, never per record); the store's own mutex is shared by the
+// sampler and query paths only — no serving code ever touches it.
+//
+// Knobs: IBRAR_OBS_TS_INTERVAL_MS (sampler cadence, 0 = off — the default),
+// IBRAR_OBS_TS_CAP (samples retained per series, default 512).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ibrar::obs {
+
+struct TsSample {
+  std::int64_t t_ns = 0;  ///< obs::now_ns() at the sampling tick
+  double value = 0.0;
+};
+
+struct TimeSeriesConfig {
+  /// Samples retained per series (ring capacity; oldest overwritten).
+  std::size_t capacity = 512;
+  /// Defaults overridden by IBRAR_OBS_TS_CAP.
+  static TimeSeriesConfig from_env();
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesConfig cfg = TimeSeriesConfig());
+  ~TimeSeriesStore();
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Take one registry snapshot and append every derived series, stamped
+  /// `t_ns` (defaults to now). Returns the number of series touched. This is
+  /// what the background sampler calls once per interval; tests call it
+  /// directly for a deterministic tick.
+  std::size_t sample_now(MetricsRegistry& reg, std::int64_t t_ns = -1);
+
+  /// Append one point to an explicit series (the drift detector and tests
+  /// feed synthetic tracks through this).
+  void append(const std::string& series, std::int64_t t_ns, double value);
+
+  /// Oldest-first copy of a series' surviving samples (empty if unknown).
+  std::vector<TsSample> series(const std::string& name) const;
+
+  /// Per-second delta rate of `name` over (up to) the trailing `window_ns`:
+  /// (v_last - v_base) / (t_last - t_base) * 1e9, where base is the oldest
+  /// surviving sample within the window. Counters wrap the ring without
+  /// corrupting the rate — the base is always a real retained sample, so the
+  /// delta is exact over the span actually used. Returns 0 with fewer than
+  /// two samples in the window.
+  double rate(const std::string& name, std::int64_t window_ns) const;
+
+  /// Convenience for histogram percentile tracks: series("<name>.p50") /
+  /// (".p99"), picked by q (only 0.5 and 0.99 tracks are sampled).
+  std::vector<TsSample> percentile_series(const std::string& hist_name,
+                                          double q) const;
+
+  /// Last appended value of a series (0 when empty/unknown).
+  double last(const std::string& name) const;
+
+  /// Samples overwritten ring-wide since construction (also mirrored into
+  /// the obs.ts.dropped_samples registry counter).
+  std::uint64_t dropped_samples() const;
+
+  /// Number of distinct series.
+  std::size_t series_count() const;
+
+  /// Sorted names of every series (the admin endpoint's listing).
+  std::vector<std::string> series_names() const;
+
+  /// Sampling ticks completed.
+  std::uint64_t ticks() const;
+
+  const TimeSeriesConfig& config() const { return cfg_; }
+
+ private:
+  struct Ring {
+    std::vector<TsSample> buf;
+    std::size_t next = 0;
+    std::size_t filled = 0;
+  };
+  void append_locked(const std::string& series, std::int64_t t_ns,
+                     double value);
+  const Ring* find(const std::string& name) const;
+
+  TimeSeriesConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> rings_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t ticks_ = 0;
+  Counter& c_dropped_;  ///< obs.ts.dropped_samples
+};
+
+/// The process-global store the admin endpoint and SLO monitors read.
+TimeSeriesStore& timeseries();
+
+/// Background sampler driving timeseries().sample_now(registry()) every
+/// `interval_ms` (clamped to >= 10), then evaluating the SLO registry (see
+/// obs/slo.hpp). start is idempotent (the first interval wins until stop);
+/// stop joins the thread. interval_ms <= 0 is a no-op start.
+void start_sampler(std::int64_t interval_ms);
+void stop_sampler();
+bool sampler_running();
+
+/// IBRAR_OBS_TS_INTERVAL_MS (0 = sampler off). Read once, cached.
+std::int64_t ts_interval_ms();
+
+}  // namespace ibrar::obs

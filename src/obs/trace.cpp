@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 
 namespace ibrar::obs {
@@ -62,6 +63,14 @@ std::atomic<std::int64_t>& sample_every_flag() {
   return k;
 }
 
+/// Registry view of ring overwrites. Unlike the per-ring `dropped` fields
+/// (reset by clear_trace), this is cumulative for the process, so dashboards
+/// see span loss even after a dump/clear cycle.
+Counter& dropped_spans_counter() {
+  static Counter& c = registry().counter("obs.trace.dropped_spans");
+  return c;
+}
+
 }  // namespace
 
 std::int64_t trace_sample_every() {
@@ -78,7 +87,10 @@ void record_span(const char* name, std::int64_t begin_ns, std::int64_t end_ns,
   Ring& ring = local_ring();
   std::lock_guard<std::mutex> lk(ring.mu);
   SpanRecord& slot = ring.buf[ring.next];
-  if (ring.filled == ring.buf.size()) ++ring.dropped;
+  if (ring.filled == ring.buf.size()) {
+    ++ring.dropped;
+    dropped_spans_counter().inc();
+  }
   slot.name = name;
   slot.begin_ns = begin_ns;
   slot.end_ns = end_ns;
@@ -147,7 +159,9 @@ std::string trace_json() {
                   static_cast<unsigned long long>(r.corr));
     out += buf;
   }
-  out += "\n]}\n";
+  // Span loss is part of the artifact: a tool reading the dump can tell the
+  // window is incomplete without consulting the metrics registry.
+  out += "\n],\"droppedSpans\":" + std::to_string(trace_dropped()) + "}\n";
   return out;
 }
 

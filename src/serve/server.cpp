@@ -40,6 +40,9 @@ ServeConfig ServeConfig::from_env() {
   cfg.client_rate = env::get_double("IBRAR_SERVE_CLIENT_RATE", 0.0);
   cfg.client_burst = env::get_double("IBRAR_SERVE_CLIENT_BURST", 0.0);
   cfg.max_inflight_per_client = env::get_int("IBRAR_SERVE_MAX_INFLIGHT", 0);
+  cfg.telemetry.ewma = env::get_int("IBRAR_SERVE_TELEMETRY_EWMA", 0) != 0;
+  cfg.telemetry.ewma_decay = static_cast<float>(
+      env::get_double("IBRAR_SERVE_TELEMETRY_EWMA_DECAY", 0.5));
   return cfg;
 }
 
@@ -73,6 +76,7 @@ Server::Server(ModelRegistry& registry, ServeConfig cfg)
       h_retry_after_ms_(
           obs::registry().histogram("serve.admission.retry_after_ms")),
       g_queue_depth_(obs::registry().gauge("serve.queue_depth")),
+      g_drift_state_(obs::registry().gauge("serve.telemetry.drift_state")),
       g_batch_max_(obs::registry().gauge("serve.batch_max")),
       h_queue_wait_ns_(obs::registry().histogram("serve.queue_wait_ns")),
       h_compute_ns_(obs::registry().histogram("serve.compute_ns")),
@@ -340,8 +344,24 @@ void Server::serve_batch(MicroBatch& batch) {
       break;
   }
   // Per-model-version attribution (counters created on first use; one
-  // registry lookup per batch, amortized across its rows).
+  // registry lookup per batch, amortized across its rows). Cardinality is
+  // bounded across hot-swaps: the first worker to observe a new version (CAS
+  // winner) folds the previous version's family into the
+  // serve.version.retired.* aggregates, so the registry carries the live
+  // generation plus one retired set, never N generations of dead names. A
+  // straggler batch still pinned to the old snapshot may transiently
+  // re-create its family; the next swap folds that too.
   {
+    std::uint64_t prev = last_version_.load(std::memory_order_relaxed);
+    if (prev != snap->version &&
+        last_version_.compare_exchange_strong(prev, snap->version,
+                                              std::memory_order_relaxed)) {
+      if (prev != 0) {
+        obs::registry().retire_counters(
+            "serve.version." + std::to_string(prev) + ".",
+            "serve.version.retired.");
+      }
+    }
     const std::string prefix =
         "serve.version." + std::to_string(snap->version);
     obs::registry().counter(prefix + ".requests")
@@ -386,6 +406,10 @@ void Server::serve_batch(MicroBatch& batch) {
       if (reply.telemetry.suspicion >= 0.0f) {
         h_suspicion_.observe(static_cast<double>(reply.telemetry.suspicion));
       }
+      // Mirror the control-band verdict where dashboards and SLOs can see
+      // it. Sampled-path only, so the cost is one short monitor lock per
+      // Kth request.
+      g_drift_state_.set(static_cast<double>(monitor_.drift_state()));
     }
     // Cache completion BEFORE resolving the leader's own promise: fan the
     // reply to every in-flight joiner and store it for future hits (the

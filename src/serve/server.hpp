@@ -203,6 +203,7 @@ class Server {
   obs::Counter& c_admission_throttled_;
   obs::Histogram& h_retry_after_ms_;
   obs::Gauge& g_queue_depth_;
+  obs::Gauge& g_drift_state_;
   obs::Gauge& g_batch_max_;
   obs::Histogram& h_queue_wait_ns_;
   obs::Histogram& h_compute_ns_;
@@ -214,6 +215,10 @@ class Server {
   /// Per-server high-water mark (a max cannot be delta'd out of the global
   /// gauge, so it is tracked locally and mirrored into serve.batch_max).
   std::atomic<std::uint64_t> max_batch_observed_{0};
+  /// Last model version whose serve.version.<v>.* family is live; the CAS
+  /// winner on a version change retires the previous family into
+  /// serve.version.retired.* (0 = none seen yet).
+  std::atomic<std::uint64_t> last_version_{0};
 };
 
 }  // namespace ibrar::serve

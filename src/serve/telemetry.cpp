@@ -1,12 +1,58 @@
 #include "serve/telemetry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "mi/channel_score.hpp"
 #include "runtime/scratch_arena.hpp"
 
 namespace ibrar::serve {
+
+DriftDetector::DriftDetector() : DriftDetector(Config()) {}
+
+DriftDetector::DriftDetector(Config cfg) : cfg_(cfg) {
+  cfg_.decay = std::clamp(cfg_.decay, 0.0, 0.999);
+  cfg_.band_sigma = std::max(cfg_.band_sigma, 0.1);
+  cfg_.min_band = std::max(cfg_.min_band, 0.0);
+  cfg_.warmup = std::max<std::int64_t>(cfg_.warmup, 1);
+  cfg_.trip = std::max<std::int64_t>(cfg_.trip, 1);
+}
+
+double DriftDetector::stddev() const { return std::sqrt(std::max(var_, 0.0)); }
+
+void DriftDetector::reset() {
+  mean_ = 0.0;
+  var_ = 0.0;
+  n_ = 0;
+  out_run_ = 0;
+  state_ = kStable;
+}
+
+int DriftDetector::observe(double v) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = v;
+    var_ = 0.0;
+    return state_;
+  }
+  const bool armed = n_ > cfg_.warmup;
+  const double band =
+      std::max(cfg_.band_sigma * stddev(), cfg_.min_band);
+  if (armed && std::abs(v - mean_) > band) {
+    // Out-of-band: count toward the trip, and keep the baseline frozen so a
+    // persistent shift stays flagged instead of being learned as normal.
+    ++out_run_;
+    if (out_run_ >= cfg_.trip) state_ = kDrift;
+    return state_;
+  }
+  out_run_ = 0;
+  state_ = kStable;
+  const double d = v - mean_;
+  mean_ += (1.0 - cfg_.decay) * d;
+  var_ = cfg_.decay * (var_ + (1.0 - cfg_.decay) * d * d);
+  return state_;
+}
 
 RobustnessMonitor::RobustnessMonitor(TelemetryConfig cfg) : cfg_(cfg) {
   if (cfg_.sample_every < 0) {
@@ -15,6 +61,7 @@ RobustnessMonitor::RobustnessMonitor(TelemetryConfig cfg) : cfg_(cfg) {
   cfg_.window = std::max<std::int64_t>(cfg_.window, 2);
   cfg_.suspicious_fraction =
       std::clamp(cfg_.suspicious_fraction, 0.01f, 0.99f);
+  cfg_.ewma_decay = std::clamp(cfg_.ewma_decay, 0.0f, 0.99f);
 }
 
 RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
@@ -56,6 +103,9 @@ RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
     fill_ = 0;
     scores_.clear();
     suspicious_mask_ = Tensor({0});
+    win_susp_sum_ = 0.0;
+    win_susp_n_ = 0;
+    drift_.reset();  // the suspicion baseline belonged to the old geometry
     window_taps_.assign(
         static_cast<std::size_t>(cfg_.window) * static_cast<std::size_t>(width),
         0.0f);
@@ -69,6 +119,14 @@ RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
   ++samples_;
 
   if (fill_ == cfg_.window) {
+    // One drift observation per completed window: the mean suspicion of the
+    // samples scored during it (none before the first epoch — no score
+    // vector existed to read suspicion against).
+    if (win_susp_n_ > 0) {
+      drift_.observe(win_susp_sum_ / static_cast<double>(win_susp_n_));
+      win_susp_sum_ = 0.0;
+      win_susp_n_ = 0;
+    }
     // Window full: refresh the Eq. (3) scores from the sampled taps, labeled
     // by the model's own predictions. The features view is (n, C, spatial, 1)
     // so conv taps keep their channel axis; NC taps pass spatial == 1.
@@ -95,6 +153,16 @@ RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
     // sampled under: a concurrent hot-swap may have restarted the window for
     // a new architecture, and these scores would be meaningless for it.
     if (channels_ == gen_channels && spatial_ == gen_spatial) {
+      if (cfg_.ewma && scores_.size() == scores.size()) {
+        // Sliding re-score: blend into the previous epoch instead of
+        // replacing it, then re-derive the suspicious set from the blended
+        // scores (cheap: one O(C log C) partial sort under the lock).
+        const float d = cfg_.ewma_decay;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+          scores[i] = d * scores_[i] + (1.0f - d) * scores[i];
+        }
+        mask = mi::mask_from_scores(scores, cfg_.suspicious_fraction);
+      }
       scores_ = std::move(scores);
       suspicious_mask_ = std::move(mask);
       ++epoch_;
@@ -109,6 +177,8 @@ RequestTelemetry RobustnessMonitor::observe(const float* tap_row,
     }
     out.suspicion = total > 0.0f ? suspicious_energy / total : 0.0f;
     out.score_epoch = epoch_;
+    win_susp_sum_ += static_cast<double>(out.suspicion);
+    ++win_susp_n_;
   }
   return out;
 }
@@ -131,6 +201,16 @@ std::int64_t RobustnessMonitor::window_fill() const {
 std::uint64_t RobustnessMonitor::samples() const {
   std::lock_guard<std::mutex> lk(mu_);
   return samples_;
+}
+
+int RobustnessMonitor::drift_state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return drift_.state();
+}
+
+DriftDetector RobustnessMonitor::drift_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return drift_;
 }
 
 }  // namespace ibrar::serve

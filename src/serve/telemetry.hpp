@@ -38,6 +38,59 @@ struct TelemetryConfig {
   /// Bottom fraction of channels (by current score) counted as suspicious —
   /// mirrors the paper's Eq. (3) drop fraction.
   float suspicious_fraction = 0.25f;
+  /// Sliding re-score (IBRAR_SERVE_TELEMETRY_EWMA): instead of REPLACING the
+  /// channel scores each tumbling window, blend
+  ///   scores = ewma_decay * previous + (1 - ewma_decay) * window
+  /// so suspicion tracks drifting traffic without forgetting the clean
+  /// baseline at every epoch boundary (ROADMAP item 4, PR-5 follow-up).
+  bool ewma = false;
+  /// Weight kept on the previous epoch's scores per completed window.
+  float ewma_decay = 0.5f;
+};
+
+/// EWMA control-band change detector over a scalar series (here: the
+/// per-window mean suspicion). Maintains exponentially-weighted mean and
+/// variance of the in-band baseline; an observation farther than
+/// band_sigma * stddev (floored at min_band) from the mean is out-of-band,
+/// and `trip` consecutive out-of-band observations raise the drift state.
+/// Out-of-band points are NOT absorbed into the baseline — a genuine
+/// distribution shift keeps the detector latched instead of teaching it the
+/// new normal. An in-band observation clears the state.
+class DriftDetector {
+ public:
+  struct Config {
+    double decay = 0.8;       ///< weight kept on the old mean/var per update
+    double band_sigma = 4.0;  ///< band half-width in baseline stddevs
+    double min_band = 0.05;   ///< absolute floor on the band half-width
+    std::int64_t warmup = 4;  ///< observations absorbed before bands arm
+    std::int64_t trip = 1;    ///< consecutive out-of-band points to flip
+  };
+  /// States for the serve.telemetry.drift_state gauge.
+  static constexpr int kStable = 0;
+  static constexpr int kDrift = 1;
+
+  // Two constructors instead of one defaulted argument: `Config cfg =
+  // Config()` would need the nested type complete inside its own enclosing
+  // class, which the language disallows.
+  DriftDetector();
+  explicit DriftDetector(Config cfg);
+
+  /// Feed one observation; returns the state after it.
+  int observe(double v);
+
+  int state() const { return state_; }
+  double mean() const { return mean_; }
+  double stddev() const;
+  std::int64_t observations() const { return n_; }
+  void reset();
+
+ private:
+  Config cfg_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::int64_t n_ = 0;
+  std::int64_t out_run_ = 0;
+  int state_ = kStable;
 };
 
 /// Thread-safe accumulator behind the server's telemetry path.
@@ -78,6 +131,17 @@ class RobustnessMonitor {
   /// Total samples observed.
   std::uint64_t samples() const;
 
+  /// Drift over the per-window mean suspicion series: each completed window
+  /// feeds one observation to an EWMA control-band DriftDetector, so a
+  /// clean -> adversarial traffic shift that inflates suspicion flips the
+  /// state (mirrored into the serve.telemetry.drift_state gauge by the
+  /// server). DriftDetector::kStable / kDrift.
+  int drift_state() const;
+
+  /// Copy of the detector (baseline mean/stddev, observation count) for
+  /// tests and the admin endpoint.
+  DriftDetector drift_snapshot() const;
+
   const TelemetryConfig& config() const { return cfg_; }
 
  private:
@@ -94,6 +158,11 @@ class RobustnessMonitor {
   std::uint64_t epoch_ = 0;
   std::vector<float> scores_;          // last completed window's scores
   Tensor suspicious_mask_{Shape{0}};   // 0 = suspicious channel, 1 = robust
+  // Suspicion accumulated over the current window, fed to drift_ as one
+  // mean observation when the window completes.
+  double win_susp_sum_ = 0.0;
+  std::int64_t win_susp_n_ = 0;
+  DriftDetector drift_;
 };
 
 }  // namespace ibrar::serve

@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -20,8 +22,11 @@
 #include "models/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/net/admin.hpp"
 #include "serve/server.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/random.hpp"
@@ -389,6 +394,183 @@ TEST(ServerObs, LogitsBitIdenticalWithEveryObservabilityKnobOn) {
     for (int i = 0; i < kReqs; ++i) {
       on_logits.push_back(server.submit(sample_input(100 + i)).get().logits);
     }
+  }
+  for (int i = 0; i < kReqs; ++i) {
+    const Tensor& a = off_logits[static_cast<std::size_t>(i)];
+    const Tensor& b = on_logits[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(a.same_shape(b));
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          sizeof(float) * static_cast<std::size_t>(a.numel())),
+              0)
+        << "logits differ for request " << i;
+  }
+}
+
+TEST(Metrics, HistogramPercentilesBracketUnderConcurrentWriters) {
+  // The shard-merge-on-read path must preserve the bracketing contract when
+  // the observations arrive from 8 threads at once (each thread lands on its
+  // own shard; snapshot() merges).
+  obs::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<double> vals;
+  vals.reserve(kThreads * kPerThread);
+  {
+    std::mutex mu;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        Rng rng(static_cast<std::uint64_t>(1000 + t));
+        std::vector<double> mine;
+        mine.reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) {
+          const double u = static_cast<double>(rng.uniform());
+          mine.push_back(std::pow(10.0, -2.0 + 9.0 * u));
+        }
+        for (double v : mine) h.observe(v);
+        std::lock_guard<std::mutex> lk(mu);
+        vals.insert(vals.end(), mine.begin(), mine.end());
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+  std::sort(vals.begin(), vals.end());
+  const obs::HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, vals.size());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(vals.size()))));
+    const double truth = vals[rank - 1];
+    const double est = snap.percentile(q);
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(est, truth * 1.1251) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.max, vals.back());
+}
+
+TEST(Metrics, PrometheusExpositionIsWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("prom.test.requests").inc(42);
+  reg.gauge("prom.test.depth").set(-1.5);
+  for (int i = 1; i <= 1000; ++i) {
+    reg.histogram("prom.test.lat").observe(static_cast<double>(i) * 0.001);
+  }
+  const std::string text = reg.snapshot().to_prometheus();
+
+  // Every non-comment line is `name{labels} value` with names in the
+  // Prometheus charset (dots sanitized to underscores).
+  EXPECT_NE(text.find("# TYPE prom_test_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("\nprom_test_requests 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("\nprom_test_depth -1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_test_lat histogram"), std::string::npos);
+  EXPECT_EQ(text.find("prom.test"), std::string::npos);  // names sanitized
+
+  // Histogram contract: le edges strictly ascending, cumulative counts
+  // non-decreasing, and the mandatory +Inf bucket equals _count.
+  std::vector<double> edges;
+  std::vector<std::uint64_t> cums;
+  std::uint64_t inf_count = 0, count_line = 0;
+  double sum_line = -1.0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.rfind("prom_test_lat_bucket{le=\"", 0) == 0) {
+      const std::size_t q1 = line.find('"') + 1;
+      const std::size_t q2 = line.find('"', q1);
+      const std::string le = line.substr(q1, q2 - q1);
+      const std::uint64_t cum =
+          std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+      if (le == "+Inf") {
+        inf_count = cum;
+      } else {
+        edges.push_back(std::strtod(le.c_str(), nullptr));
+        cums.push_back(cum);
+      }
+    } else if (line.rfind("prom_test_lat_sum ", 0) == 0) {
+      sum_line = std::strtod(line.c_str() + line.rfind(' ') + 1, nullptr);
+    } else if (line.rfind("prom_test_lat_count ", 0) == 0) {
+      count_line =
+          std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+    }
+  }
+  ASSERT_GE(edges.size(), 2u);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]) << "le edges not ascending at " << i;
+    EXPECT_LE(cums[i - 1], cums[i]) << "cumulative counts decreased at " << i;
+  }
+  EXPECT_EQ(count_line, 1000u);
+  EXPECT_EQ(inf_count, count_line);  // exactly one +Inf line, riding _count
+  EXPECT_EQ(cums.back(), count_line);
+  EXPECT_NEAR(sum_line, 1000.0 * 1001.0 / 2.0 * 0.001, 1e-6);
+}
+
+TEST(Trace, RingOverwriteCountsDroppedSpansAndExportsThem) {
+  ObsStateGuard guard;
+  obs::set_trace_sample_every(1);
+  obs::clear_trace();
+  const std::uint64_t before =
+      obs::registry().snapshot().counters.count("obs.trace.dropped_spans")
+          ? obs::registry().snapshot().counters.at("obs.trace.dropped_spans")
+          : 0;
+  // Overflow this thread's ring (default cap 8192 records).
+  for (int i = 0; i < 9000; ++i) {
+    obs::record_span("overflow_test", i, i + 1,
+                     static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GE(obs::trace_dropped(), 808u);
+  // The cumulative registry counter moved by the same amount.
+  const std::uint64_t after =
+      obs::registry().snapshot().counters.at("obs.trace.dropped_spans");
+  EXPECT_EQ(after - before, obs::trace_dropped());
+  // The export carries the loss so dashboards can see truncation.
+  const std::string json = obs::trace_json();
+  EXPECT_NE(json.find("\"droppedSpans\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"droppedSpans\":0"), std::string::npos);
+}
+
+TEST(ServerObs, LogitsBitIdenticalWithContinuousTelemetryStackOn) {
+  // PR-10 extension of the bit-identity contract: four workers, EWMA sliding
+  // re-score, the background time-series sampler, SLO evaluation, and a live
+  // admin endpoint scraping /metrics — all on — vs everything off.
+  serve::ModelRegistry reg;
+  reg.publish(tiny_model(7), {kChannels, kSize, kSize});
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;  // singleton batches -> deterministic batching
+  cfg.deadline_us = 0;
+  cfg.queue_capacity = 64;
+  cfg.workers = 4;
+
+  constexpr int kReqs = 8;
+  std::vector<Tensor> off_logits, on_logits;
+  {
+    ObsStateGuard guard;
+    obs::set_trace_sample_every(0);
+    obs::set_profiling_enabled(false);
+    serve::Server server(reg, cfg);
+    for (int i = 0; i < kReqs; ++i) {
+      off_logits.push_back(server.submit(sample_input(200 + i)).get().logits);
+    }
+  }
+  {
+    ObsStateGuard guard;
+    obs::set_trace_sample_every(1);
+    obs::set_profiling_enabled(true);
+    obs::register_default_serve_slos();
+    obs::start_sampler(10);  // continuous sampling + SLO eval in background
+    serve::net::AdminEndpoint admin;  // live scraper on a kernel port
+    serve::ServeConfig cfg_on = cfg;
+    cfg_on.telemetry.sample_every = 1;
+    cfg_on.telemetry.ewma = true;
+    cfg_on.telemetry.ewma_decay = 0.5f;
+    serve::Server server(reg, cfg_on);
+    for (int i = 0; i < kReqs; ++i) {
+      on_logits.push_back(server.submit(sample_input(200 + i)).get().logits);
+    }
+    admin.stop();
+    obs::stop_sampler();
   }
   for (int i = 0; i < kReqs; ++i) {
     const Tensor& a = off_logits[static_cast<std::size_t>(i)];

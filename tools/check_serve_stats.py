@@ -2,6 +2,7 @@
 """Validate the observability exports of an ibrar_serve run.
 
 Usage: check_serve_stats.py STATS_JSONL [TRACE_JSON]
+           [--prom SCRAPE ...] [--slo SLO_JSON]
 
 STATS_JSONL is the --stats-every stream: one JSON object per line, each the
 full metrics-registry snapshot ({"counters":{...},"gauges":{...},
@@ -22,12 +23,28 @@ full metrics-registry snapshot ({"counters":{...},"gauges":{...},
 TRACE_JSON (optional) is the --trace chrome://tracing dump. Checks it is
 valid JSON with a non-empty traceEvents list covering all six serving-stage
 spans (admission, queue_wait, batch_assembly, compute, telemetry_rescore,
-reply).
+reply). A nonzero droppedSpans count is a WARNING (the export window
+truncated), not a failure.
+
+--prom SCRAPE (repeatable, in scrape order) are GET /metrics bodies from the
+admin endpoint. Each must be well-formed Prometheus text exposition 0.0.4:
+every line a comment or `name[{labels}] value` with names in
+[a-zA-Z_:][a-zA-Z0-9_:]*, histogram `le` bucket edges strictly ascending with
+non-decreasing cumulative counts and the mandatory +Inf bucket equal to
+_count. Across consecutive scrapes, counters must be monotone and SLO state
+gauges (obs_slo_*_state) must never de-escalate from breach (2) to
+warning (1) — within an episode the only way down is a clean drop to ok (0).
+
+--slo SLO_JSON is a GET /slo body: must parse, carry a non-empty "slos" list,
+and every entry's state must be one of ok/warning/breach with state_value in
+{0,1,2} and finite burn rates.
 
 Exit status: 0 on success, 1 with a diagnostic on the first violation.
 """
 
 import json
+import math
+import re
 import sys
 
 CORE_COUNTERS = ["serve.accepted", "serve.served", "serve.batches"]
@@ -155,16 +172,153 @@ def check_trace(path):
     missing = [s for s in STAGES if s not in names]
     if missing:
         fail(f"{path} missing serving-stage spans: {missing}")
+    dropped = trace.get("droppedSpans", 0)
+    if dropped:
+        print(
+            f"check_serve_stats: WARNING: {path} dropped {dropped} spans "
+            f"to ring wrap-around — the export window is truncated",
+            file=sys.stderr,
+        )
     print(f"check_serve_stats: trace OK — {len(events)} spans, all six stages")
 
 
+PROM_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+PROM_LINE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$"
+)
+
+
+def parse_prom(path):
+    """Parse one text-exposition scrape into (samples, histograms).
+
+    samples: {name-with-labels: float}; histograms: {base: [(le, cum), ...]}.
+    Fails on any malformed line.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    samples = {}
+    hists = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = PROM_LINE_RE.match(line)
+        if not m:
+            fail(f"{path}:{lineno} is not a valid exposition line: {line!r}")
+        name, labels, raw = m.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            fail(f"{path}:{lineno} has a non-numeric value: {line!r}")
+        samples[name + (labels or "")] = value
+        if name.endswith("_bucket") and labels and 'le="' in labels:
+            le = labels.split('le="', 1)[1].split('"', 1)[0]
+            hists.setdefault(name[: -len("_bucket")], []).append((le, value))
+    if not samples:
+        fail(f"{path} contains no samples")
+    return samples, hists
+
+
+def check_prom(paths):
+    prev = None
+    for path in paths:
+        samples, hists = parse_prom(path)
+        for base, buckets in hists.items():
+            edges = [le for le, _ in buckets if le != "+Inf"]
+            cums = [c for le, c in buckets if le != "+Inf"]
+            floats = [float(e) for e in edges]
+            if floats != sorted(floats) or len(set(floats)) != len(floats):
+                fail(f"{path}: {base} le edges not strictly ascending")
+            if any(b < a for a, b in zip(cums, cums[1:])):
+                fail(f"{path}: {base} cumulative bucket counts decreased")
+            inf = [c for le, c in buckets if le == "+Inf"]
+            if len(inf) != 1:
+                fail(f"{path}: {base} must have exactly one +Inf bucket")
+            count = samples.get(f"{base}_count")
+            if count is None or inf[0] != count:
+                fail(
+                    f"{path}: {base} +Inf bucket {inf[0]} != _count {count}"
+                )
+        if prev is not None:
+            prev_path, prev_samples = prev
+            for key, old in prev_samples.items():
+                new = samples.get(key)
+                if new is None:
+                    continue  # retired/compacted families may fold away
+                # Counters: _total-less convention here — anything that is a
+                # bucket/count/sum or a bare counter family must be monotone.
+                # Gauges can move freely; restrict to known-cumulative shapes.
+                if key.endswith(("_count", "_sum")) or "_bucket{" in key:
+                    if new < old:
+                        fail(
+                            f"{path}: {key} went backwards vs {prev_path} "
+                            f"({old} -> {new})"
+                        )
+                if key.startswith("obs_slo_") and key.endswith("_state"):
+                    if old == 2 and new == 1:
+                        fail(
+                            f"{path}: SLO gauge {key} de-escalated breach -> "
+                            f"warning vs {prev_path} (episodes are monotone; "
+                            f"only a clean drop to ok may leave breach)"
+                        )
+        prev = (path, samples)
+        print(
+            f"check_serve_stats: prom scrape {path} OK — "
+            f"{len(samples)} samples, {len(hists)} histograms"
+        )
+
+
+def check_slo(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    slos = doc.get("slos")
+    if not isinstance(slos, list) or not slos:
+        fail(f"{path} has no slos list")
+    for s in slos:
+        name = s.get("name", "<unnamed>")
+        if s.get("state") not in ("ok", "warning", "breach"):
+            fail(f"{path}: slo {name} has bad state {s.get('state')!r}")
+        if s.get("state_value") not in (0, 1, 2):
+            fail(f"{path}: slo {name} has bad state_value")
+        for k in ("fast_burn_rate", "slow_burn_rate"):
+            v = s.get(k)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"{path}: slo {name} has bad {k}: {v!r}")
+    print(f"check_serve_stats: slo OK — {len(slos)} monitors")
+
+
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    args = sys.argv[1:]
+    positional = []
+    prom_paths = []
+    slo_path = None
+    i = 0
+    while i < len(args):
+        if args[i] == "--prom":
+            i += 1
+            if i >= len(args):
+                fail("--prom needs a path")
+            prom_paths.append(args[i])
+        elif args[i] == "--slo":
+            i += 1
+            if i >= len(args):
+                fail("--slo needs a path")
+            slo_path = args[i]
+        else:
+            positional.append(args[i])
+        i += 1
+    if len(positional) < 1 or len(positional) > 2:
         print(__doc__, file=sys.stderr)
         return 2
-    check_stats(sys.argv[1])
-    if len(sys.argv) == 3:
-        check_trace(sys.argv[2])
+    check_stats(positional[0])
+    if len(positional) == 2:
+        check_trace(positional[1])
+    if prom_paths:
+        check_prom(prom_paths)
+    if slo_path:
+        check_slo(slo_path)
     return 0
 
 

@@ -37,7 +37,18 @@
 //                   control (overrides IBRAR_SERVE_CLIENT_RATE /
 //                   IBRAR_SERVE_MAX_INFLIGHT); throttled requests come back
 //                   kBusyRetryAfter with a retry hint and are counted in the
-//                   summary as rejected.
+//                   summary as rejected;
+//   * --admin-port P starts the read-only HTTP admin endpoint on
+//                   127.0.0.1:P (0 = ephemeral): GET /metrics (Prometheus
+//                   text exposition), /slo, /timeseries[?name=...],
+//                   /registry, /profile — and implies the time-series
+//                   sampler + default SLO monitors (250ms cadence unless
+//                   IBRAR_OBS_TS_INTERVAL_MS says otherwise);
+//   * --admin-linger MS holds the admin endpoint open for MS after the
+//                   drain so an external scraper (CI) can read the final
+//                   quiescent /metrics + /slo deterministically;
+//   * --profile-out F writes obs::profile_to_json() to F at exit (implies
+//                   IBRAR_OBS_PROFILE=1).
 //
 // Server shape comes from the standard env knobs: IBRAR_SERVE_MAX_BATCH,
 // IBRAR_SERVE_DEADLINE_US, IBRAR_SERVE_QUEUE_CAP, IBRAR_SERVE_WORKERS,
@@ -65,7 +76,10 @@
 #include "common.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "serve/net/admin.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/net/client.hpp"
@@ -102,6 +116,9 @@ int main(int argc, char** argv) {
   double adv_fraction = 0.0;
   bool swap_mid_run = false;
   std::int64_t listen_port = -1;  // -1 = in-process futures (no socket)
+  std::int64_t admin_port = -1;   // -1 = no admin endpoint
+  std::int64_t admin_linger_ms = 0;  // hold admin open after drain (CI scrape)
+  std::string profile_out;        // empty = no JSON profile dump
   std::int64_t cache_mb = -1;     // -1 = keep the IBRAR_SERVE_CACHE_MB default
   double client_rate = -1.0;      // -1 = keep IBRAR_SERVE_CLIENT_RATE
   std::int64_t max_inflight = -1; // -1 = keep IBRAR_SERVE_MAX_INFLIGHT
@@ -126,6 +143,9 @@ int main(int argc, char** argv) {
     else if (arg == "--stats-out") stats_out = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--listen") listen_port = std::stoll(next());
+    else if (arg == "--admin-port") admin_port = std::stoll(next());
+    else if (arg == "--admin-linger") admin_linger_ms = std::stoll(next());
+    else if (arg == "--profile-out") profile_out = next();
     else if (arg == "--cache-mb") cache_mb = std::stoll(next());
     else if (arg == "--client-rate") client_rate = std::stod(next());
     else if (arg == "--max-inflight-per-client") max_inflight = std::stoll(next());
@@ -134,7 +154,8 @@ int main(int argc, char** argv) {
                    "usage: ibrar_serve [--dataset D] [--model M] [--requests N]"
                    " [--clients C] [--telemetry K] [--adv FRACTION] [--swap]"
                    " [--out FILE] [--stats-every MS] [--stats-out FILE]"
-                   " [--trace FILE] [--listen PORT] [--cache-mb N]"
+                   " [--trace FILE] [--listen PORT] [--admin-port PORT]"
+                   " [--admin-linger MS] [--profile-out FILE] [--cache-mb N]"
                    " [--client-rate R] [--max-inflight-per-client N]\n");
       return arg == "--help" ? 0 : 2;
     }
@@ -148,8 +169,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--listen PORT must be in [0, 65535]\n");
     return 2;
   }
+  if (admin_port < -1 || admin_port > 65535) {
+    std::fprintf(stderr, "--admin-port PORT must be in [0, 65535]\n");
+    return 2;
+  }
   if (!trace_path.empty() && !obs::trace_enabled()) {
     obs::set_trace_sample_every(8);  // --trace implies sampling
+  }
+  if (!profile_out.empty() && !obs::profiling_enabled()) {
+    obs::set_profiling_enabled(true);  // --profile-out implies profiling
   }
 
   print_header("ibrar_serve: micro-batching inference server demo");
@@ -234,6 +262,29 @@ int main(int argc, char** argv) {
     std::printf("listening on 127.0.0.1:%u — traffic goes through the socket "
                 "(length-prefixed frames, serve/net/wire.hpp)\n",
                 frontend->port());
+  }
+  std::unique_ptr<serve::net::AdminEndpoint> admin;
+  if (admin_port >= 0) {
+    serve::net::AdminConfig acfg;
+    acfg.port = static_cast<std::uint16_t>(admin_port);
+    admin = std::make_unique<serve::net::AdminEndpoint>(acfg);
+    std::printf("admin endpoint on 127.0.0.1:%u — GET /metrics /slo "
+                "/timeseries (read-only)\n",
+                admin->port());
+  }
+  // Continuous telemetry: sample the registry into the time-series store and
+  // evaluate the SLO monitors on a cadence. The env knob drives it; an admin
+  // endpoint without one gets a 250ms default so its /timeseries and /slo
+  // routes have data to show.
+  std::int64_t ts_ms = obs::ts_interval_ms();
+  if (ts_ms <= 0 && admin) ts_ms = 250;
+  if (ts_ms > 0) {
+    obs::register_default_serve_slos();
+    obs::start_sampler(ts_ms);
+    std::printf("time-series sampler: every %lldms into %zu-deep rings, "
+                "%zu SLO monitors\n",
+                static_cast<long long>(ts_ms),
+                obs::timeseries().config().capacity, obs::slos().size());
   }
 
   // Periodic JSON-lines metric snapshots: one obs::registry() dump per line.
@@ -355,12 +406,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[serve] metric snapshots -> %s\n",
                  stats_out.c_str());
   }
+  if (obs::sampler_running()) {
+    // One final quiescent tick so the stored series include the drained
+    // end-state before the sampler thread goes away.
+    obs::timeseries().sample_now(obs::registry());
+    obs::slos().evaluate(obs::timeseries());
+    obs::stop_sampler();
+    std::fprintf(stderr,
+                 "[serve] time-series: %zu series, %llu ticks, %llu dropped "
+                 "samples\n",
+                 obs::timeseries().series_count(),
+                 static_cast<unsigned long long>(obs::timeseries().ticks()),
+                 static_cast<unsigned long long>(
+                     obs::timeseries().dropped_samples()));
+  }
+  if (admin && admin_linger_ms > 0) {
+    // Hold the admin endpoint open on the drained end-state so an external
+    // scraper (CI) can collect /metrics, /slo, /timeseries deterministically
+    // — the serving window itself may be far shorter than a scrape cadence.
+    std::fprintf(stderr, "[serve] admin endpoint lingering %lld ms\n",
+                 static_cast<long long>(admin_linger_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(admin_linger_ms));
+  }
+  if (admin) admin->stop();
   if (!trace_path.empty()) {
     obs::dump_trace(trace_path);
     std::fprintf(stderr, "[serve] request trace (%zu spans) -> %s\n",
                  obs::trace_records().size(), trace_path.c_str());
   }
   if (obs::profiling_enabled()) obs::print_profile_table(stdout);
+  if (!profile_out.empty()) {
+    obs::dump_profile(profile_out);
+    std::fprintf(stderr, "[serve] kernel profile JSON -> %s\n",
+                 profile_out.c_str());
+  }
 
   // ---- summary --------------------------------------------------------------
   auto pct = [&](double q) { return percentile(latencies_ms, q); };
@@ -407,9 +486,13 @@ int main(int argc, char** argv) {
     }
   }
   if (telemetry_every > 0) {
-    std::printf("   telemetry: %llu sampled, %llu scoring epochs",
+    std::printf("   telemetry: %llu sampled, %llu scoring epochs, drift %s",
                 static_cast<unsigned long long>(stats.telemetry_samples),
-                static_cast<unsigned long long>(server.monitor().score_epoch()));
+                static_cast<unsigned long long>(server.monitor().score_epoch()),
+                server.monitor().drift_state() ==
+                        serve::DriftDetector::kDrift
+                    ? "DRIFT"
+                    : "stable");
     if (clean_susp.n > 0) {
       std::printf(", mean suspicion clean %.3f (n=%lld)", clean_susp.mean(),
                   static_cast<long long>(clean_susp.n));
